@@ -1,0 +1,249 @@
+// Package abivm is an asymmetric batch incremental view maintenance
+// library: a reproduction of "Asymmetric Batch Incremental View
+// Maintenance" (He, Xie, Yang, Yu; ICDE 2005) as a usable system.
+//
+// A materialized view over several base tables is kept up to date by
+// batch-processing modifications from per-table delta queues. Under a
+// response-time constraint C — "a refresh must always complete within
+// cost C" — the library schedules which delta tables to drain and when,
+// exploiting asymmetries between the per-table maintenance cost functions
+// (an indexed join side is cheap to process per modification; an
+// unindexed side pays a large per-batch setup and so profits from
+// batching). Scheduling policies range from the traditional symmetric
+// NAIVE flush to the paper's ONLINE heuristic and precomputed optimal
+// LGM plans found by A* search.
+//
+// Typical use:
+//
+//	db := storage-backed base tables (see internal/tpcr for a generator)
+//	v, _ := abivm.NewView(db, query,
+//	        abivm.WithConstraint(model, 25.0),
+//	        abivm.WithPolicy(abivm.PolicyOnline))
+//	v.Apply(abivm.UpdateRow("PS", key, newRow))  // live tables change now
+//	v.EndStep()                                  // policy may drain queues
+//	rows, _ := v.Refresh()                       // on demand, cost <= C
+//
+// The heavy lifting lives in the internal packages: internal/core (the
+// problem model), internal/astar (optimal LGM plans), internal/policy
+// (runtime policies), internal/ivm (the maintenance engine),
+// internal/storage + internal/exec + internal/plan (the relational
+// engine), and internal/experiments (the paper's figures).
+package abivm
+
+import (
+	"fmt"
+
+	"abivm/internal/core"
+	"abivm/internal/ivm"
+	"abivm/internal/policy"
+	"abivm/internal/storage"
+)
+
+// Mod is one base-table modification addressed to a view's FROM alias.
+type Mod = ivm.Mod
+
+// InsertRow builds an insert modification.
+func InsertRow(alias string, row storage.Row) Mod { return ivm.Insert(alias, row) }
+
+// DeleteRow builds a delete modification by primary key.
+func DeleteRow(alias string, key ...storage.Value) Mod { return ivm.Delete(alias, key...) }
+
+// UpdateRow builds an update modification replacing the row at key.
+func UpdateRow(alias string, key []storage.Value, row storage.Row) Mod {
+	return ivm.Update(alias, key, row)
+}
+
+// PolicyKind selects the runtime scheduling policy.
+type PolicyKind string
+
+// Available policies.
+const (
+	// PolicyNaive is the traditional symmetric approach: drain every
+	// delta queue whenever the constraint is violated.
+	PolicyNaive PolicyKind = "naive"
+	// PolicyOnline is the paper's Section 4.3 heuristic.
+	PolicyOnline PolicyKind = "online"
+	// PolicyOnlineMarginal is this library's marginal-rate refinement of
+	// ONLINE (see internal/policy).
+	PolicyOnlineMarginal PolicyKind = "online-marginal"
+)
+
+// Option configures a View.
+type Option func(*config)
+
+type config struct {
+	model  *core.CostModel
+	c      float64
+	kind   PolicyKind
+	custom policy.Policy
+}
+
+// WithConstraint sets the per-table cost model and the response-time
+// constraint C. It is required: without a cost model the scheduler cannot
+// know when the constraint would be violated. Cost functions typically
+// come from calibration (internal/costmodel) or a database optimizer.
+func WithConstraint(model *core.CostModel, c float64) Option {
+	return func(cfg *config) {
+		cfg.model = model
+		cfg.c = c
+	}
+}
+
+// WithPolicy selects a built-in scheduling policy (default PolicyOnline).
+func WithPolicy(kind PolicyKind) Option {
+	return func(cfg *config) { cfg.kind = kind }
+}
+
+// WithCustomPolicy installs a caller-provided policy implementation (for
+// example an Adapt policy wrapping a precomputed plan, or an Oracle).
+func WithCustomPolicy(p policy.Policy) Option {
+	return func(cfg *config) { cfg.custom = p }
+}
+
+// View is a materialized view maintained under a response-time
+// constraint. It is not safe for concurrent use.
+type View struct {
+	m     *ivm.Maintainer
+	model *core.CostModel
+	c     float64
+	pol   policy.Policy
+
+	t         int
+	stepMods  core.Vector // arrivals accumulated within the current step
+	totalCost float64
+	weights   storage.Weights
+}
+
+// NewView parses the view query over the live database, snapshots
+// replicas, computes the initial content, and attaches a scheduling
+// policy.
+func NewView(db *storage.DB, query string, opts ...Option) (*View, error) {
+	cfg := config{kind: PolicyOnline}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.model == nil {
+		return nil, fmt.Errorf("abivm: WithConstraint is required")
+	}
+	m, err := ivm.New(db, query)
+	if err != nil {
+		return nil, err
+	}
+	n := len(m.Aliases())
+	if cfg.model.N() != n {
+		return nil, fmt.Errorf("abivm: cost model covers %d tables, view has %d", cfg.model.N(), n)
+	}
+	pol := cfg.custom
+	if pol == nil {
+		switch cfg.kind {
+		case PolicyNaive:
+			pol = policy.NewNaive(cfg.model, cfg.c)
+		case PolicyOnline:
+			pol = policy.NewOnline(cfg.model, cfg.c, nil)
+		case PolicyOnlineMarginal:
+			pol = policy.NewOnlineMarginal(cfg.model, cfg.c, nil)
+		default:
+			return nil, fmt.Errorf("abivm: unknown policy %q", cfg.kind)
+		}
+	}
+	pol.Reset(n)
+	v := &View{
+		m:        m,
+		model:    cfg.model,
+		c:        cfg.c,
+		pol:      pol,
+		stepMods: core.NewVector(n),
+		weights:  storage.DefaultWeights(),
+	}
+	return v, nil
+}
+
+// Aliases returns the view's FROM aliases; index i is table i of the
+// cost model.
+func (v *View) Aliases() []string { return v.m.Aliases() }
+
+// Apply applies modifications to the live base tables immediately and
+// queues them for deferred view maintenance.
+func (v *View) Apply(mods ...Mod) error {
+	if err := v.m.Apply(mods...); err != nil {
+		return err
+	}
+	for _, mod := range mods {
+		for i, a := range v.m.Aliases() {
+			if a == mod.Alias {
+				v.stepMods[i]++
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// EndStep closes the current time step: the policy observes the step's
+// arrivals and may drain delta queues to keep the refresh cost within the
+// constraint. It returns the action taken (modifications processed per
+// table) and its model cost.
+func (v *View) EndStep() (core.Vector, float64, error) {
+	pending := core.Vector(v.m.Pending())
+	act := v.pol.Act(v.t, v.stepMods.Clone(), pending.Clone(), false)
+	v.t++
+	v.stepMods = core.NewVector(len(v.stepMods))
+	if !act.NonNegative() || !act.DominatedBy(pending) {
+		return nil, 0, fmt.Errorf("abivm: policy %s returned out-of-range action %v", v.pol.Name(), act)
+	}
+	cost, err := v.process(act)
+	if err != nil {
+		return nil, 0, err
+	}
+	if post := pending.Sub(act); v.model.Full(post, v.c) {
+		return nil, 0, fmt.Errorf("abivm: policy %s left a full state %v (refresh cost %.4g > C %.4g)",
+			v.pol.Name(), post, v.model.Total(post), v.c)
+	}
+	return act, cost, nil
+}
+
+// Refresh drains every delta queue and returns the up-to-date view
+// content. Thanks to the constraint maintained by EndStep, the model cost
+// of a refresh never exceeds C.
+func (v *View) Refresh() ([]storage.Row, float64, error) {
+	pending := core.Vector(v.m.Pending())
+	cost, err := v.process(pending)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v.m.Result(), cost, nil
+}
+
+// process drains act[i] modifications from each queue, accounting cost.
+func (v *View) process(act core.Vector) (float64, error) {
+	cost := 0.0
+	for i, alias := range v.m.Aliases() {
+		if act[i] == 0 {
+			continue
+		}
+		if err := v.m.ProcessBatch(alias, act[i]); err != nil {
+			return 0, err
+		}
+		cost += v.model.TableCost(i, act[i])
+	}
+	v.totalCost += cost
+	return cost, nil
+}
+
+// Result returns the view content as of the last processed batches
+// (possibly stale with respect to the live tables).
+func (v *View) Result() []storage.Row { return v.m.Result() }
+
+// Pending returns the per-table delta queue sizes.
+func (v *View) Pending() core.Vector { return core.Vector(v.m.Pending()) }
+
+// RefreshCost returns the model cost a refresh would incur right now;
+// the library keeps it at or below the constraint between steps.
+func (v *View) RefreshCost() float64 { return v.model.Total(v.Pending()) }
+
+// TotalCost returns the accumulated model cost of all maintenance work.
+func (v *View) TotalCost() float64 { return v.totalCost }
+
+// EngineStats exposes the maintenance engine's work-unit counters (the
+// measured ground truth behind the model costs).
+func (v *View) EngineStats() *storage.Stats { return v.m.Stats() }

@@ -1,0 +1,3 @@
+module abivm
+
+go 1.22

@@ -1,0 +1,422 @@
+// Package astar searches the space of LGM maintenance plans for an
+// optimal one, per Section 4.1 of the paper. The space is a DAG whose
+// nodes are (time, post-action state) pairs: each node's outgoing edges
+// jump to the first future step at which the accumulated state becomes
+// full and apply one greedy minimal valid action there. Every
+// source-to-destination path is an LGM plan and vice versa, so a shortest
+// path (by total edge weight f(q)) is an optimal LGM plan.
+//
+// The search is informed by a consistent per-table lower bound. Let
+// R_i = s[i] + K_i be the table-i modifications still to process (K_i are
+// the arrivals strictly after t), and let b_i = m_i + max{b : f_i(b) <= C}
+// bound the largest batch any path in the LGM graph can drain from table i
+// in one action (the state one step before any forced action is non-full,
+// so its table-i component costs at most C, and at most m_i more arrive).
+// The heuristic is
+//
+//	h(t, s) = Σ_i M_i(R_i),   M_i(R) = min { Σ_j f_i(k_j) : Σ_j k_j = R, k_j <= b_i }
+//
+// computed by dynamic programming. M_i is admissible (every path drains
+// table i in batches of at most b_i) and consistent (M_i(R) <= f_i(q) +
+// M_i(R-q) for q <= b_i by definition, and M_i is monotone), so the first
+// expansion of every node is optimal and closed nodes are never reopened.
+//
+// The paper proposes h(t,s) = Σ_i floor(R_i/b_i)·f_i(b_i) (Section 4.1)
+// and asserts its consistency (Lemma 7). That formula is not admissible
+// for subadditive non-concave costs — with f(k) = ceil(k/5)·2 and b = 28,
+// processing R = 84 costs 34 in batches (25+25+25+9) while the formula
+// claims 3·f(28) = 36 — and it is not consistent even for linear costs, so
+// a closed-list A* could return suboptimal plans. M_i dominates the
+// paper's bound wherever the latter is valid (e.g. linear costs), so this
+// is a strict strengthening, not a behavioural change.
+package astar
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"abivm/internal/core"
+)
+
+// Options tunes the search.
+type Options struct {
+	// DisableHeuristic runs plain Dijkstra (h == 0); used by the heuristic
+	// ablation bench to quantify how much work the heuristic saves.
+	DisableHeuristic bool
+	// MaxExpansions aborts the search after this many node expansions;
+	// 0 means unlimited.
+	MaxExpansions int
+	// AllowNonMinimal expands every greedy valid action instead of only
+	// minimal ones, searching the larger space of lazy-greedy plans
+	// (LGM minus the M). Lazy-greedy plans are a superset of LGM plans,
+	// so the result can only be cheaper — the minimality ablation bench
+	// quantifies how much plan quality Definition 3 trades for its much
+	// smaller search space.
+	AllowNonMinimal bool
+}
+
+// Result carries the optimal LGM plan and search statistics.
+type Result struct {
+	Plan      core.Plan
+	Cost      float64
+	Expanded  int // nodes dequeued and expanded
+	Generated int // successor edges generated
+}
+
+// ErrBudgetExceeded is returned when MaxExpansions is hit before the
+// destination is reached.
+var ErrBudgetExceeded = errors.New("astar: expansion budget exceeded")
+
+// node identifies a search state: the post-action state right after an
+// action taken at time t. The source has t == -1 and a zero state; the
+// destination has t == T and a zero state.
+type node struct {
+	t     int
+	state core.Vector
+}
+
+func (n node) key() string { return fmt.Sprintf("%d|%s", n.t, n.state.Key()) }
+
+// pqItem is a priority-queue entry.
+type pqItem struct {
+	n     node
+	g     float64 // best known path cost from source
+	d     float64 // g + h
+	index int
+}
+
+type priorityQueue []*pqItem
+
+func (pq priorityQueue) Len() int { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool {
+	if pq[i].d != pq[j].d {
+		return pq[i].d < pq[j].d
+	}
+	// Tie-break on later time to reach the destination sooner; then on key
+	// for determinism.
+	if pq[i].n.t != pq[j].n.t {
+		return pq[i].n.t > pq[j].n.t
+	}
+	return pq[i].n.state.Key() < pq[j].n.state.Key()
+}
+func (pq priorityQueue) Swap(i, j int) {
+	pq[i], pq[j] = pq[j], pq[i]
+	pq[i].index = i
+	pq[j].index = j
+}
+func (pq *priorityQueue) Push(x any) {
+	it := x.(*pqItem)
+	it.index = len(*pq)
+	*pq = append(*pq, it)
+}
+func (pq *priorityQueue) Pop() any {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*pq = old[:n-1]
+	return it
+}
+
+// Heuristic DP sizing: lbLenCap bounds the per-table DP table length and
+// lbWorkCap the total DP work (table length × batch bound); beyond either
+// cap the table falls back to the plain subadditive bound f_i(R), which is
+// also consistent, just weaker.
+const (
+	lbLenCap  = 1 << 16
+	lbWorkCap = 64_000_000
+)
+
+// tableLB is the per-table heuristic lower bound M_i, tabulated for
+// R in [0, limit]; queries beyond limit clamp to M_i(limit), which keeps
+// the bound admissible and consistent.
+type tableLB struct {
+	limit int
+	m     []float64
+}
+
+func (lb *tableLB) at(r int) float64 {
+	if r <= 0 || lb.limit == 0 {
+		return 0
+	}
+	if r > lb.limit {
+		r = lb.limit
+	}
+	return lb.m[r]
+}
+
+// newTableLB tabulates M_i(R) = min-cost partition of R into batches of at
+// most maxBatch, for R up to limit. When the DP would be too expensive it
+// falls back to M_i(R) = f_i(R), the subadditive single-batch bound.
+func newTableLB(f core.CostFunc, maxBatch, limit int) *tableLB {
+	if limit > lbLenCap {
+		limit = lbLenCap
+	}
+	lb := &tableLB{limit: limit, m: make([]float64, limit+1)}
+	if limit == 0 {
+		return lb
+	}
+	inner := maxBatch
+	if inner > limit {
+		inner = limit
+	}
+	if inner <= 0 {
+		inner = 1
+	}
+	if int64(limit)*int64(inner) > lbWorkCap {
+		for r := 1; r <= limit; r++ {
+			lb.m[r] = f.Cost(r)
+		}
+		return lb
+	}
+	costs := make([]float64, inner+1)
+	for q := 1; q <= inner; q++ {
+		costs[q] = f.Cost(q)
+	}
+	for r := 1; r <= limit; r++ {
+		best := -1.0
+		qMax := inner
+		if qMax > r {
+			qMax = r
+		}
+		for q := 1; q <= qMax; q++ {
+			c := costs[q] + lb.m[r-q]
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		lb.m[r] = best
+	}
+	return lb
+}
+
+// searcher holds the per-search immutable context.
+type searcher struct {
+	in     *core.Instance
+	opts   Options
+	prefix []core.Vector // prefix[t] = Σ_{u<=t} d_u
+	suffix []core.Vector // suffix[t][i] = table-i arrivals strictly after t
+	lbs    []*tableLB    // per-table heuristic lower bounds
+}
+
+// Search finds an optimal LGM plan for the instance. It assumes perfect
+// knowledge of the arrival sequence and the refresh time T (the oracle
+// setting of the paper); the policy package adapts its output to unknown
+// refresh times.
+func Search(in *core.Instance, opts Options) (*Result, error) {
+	s := newSearcher(in, opts)
+	return s.run()
+}
+
+func newSearcher(in *core.Instance, opts Options) *searcher {
+	n := in.N()
+	tEnd := in.T()
+	prefix := make([]core.Vector, tEnd+1)
+	running := core.NewVector(n)
+	for t := 0; t <= tEnd; t++ {
+		running.AddInPlace(in.Arrivals[t])
+		prefix[t] = running.Clone()
+	}
+	s := &searcher{
+		in:     in,
+		opts:   opts,
+		prefix: prefix,
+		suffix: in.Arrivals.SuffixTotals(),
+		lbs:    make([]*tableLB, n),
+	}
+	maxStep := in.Arrivals.MaxPerStep()
+	totals := in.Arrivals.TotalPerTable()
+	for i := 0; i < n; i++ {
+		if opts.DisableHeuristic {
+			s.lbs[i] = &tableLB{}
+			continue
+		}
+		b := maxStep[i] + in.Model.MaxBatch(i, in.C)
+		s.lbs[i] = newTableLB(in.Model.Func(i), b, totals[i])
+	}
+	return s
+}
+
+// accumulated returns the state at time t2 given post-action state s at
+// time t1 < t2 with no actions in between: s + Σ_{t1 < u <= t2} d_u.
+func (s *searcher) accumulated(state core.Vector, t1, t2 int) core.Vector {
+	out := state.Clone()
+	out.AddInPlace(s.prefix[t2])
+	if t1 >= 0 {
+		out.SubInPlace(s.prefix[t1])
+	}
+	return out
+}
+
+// nextFull returns the first time t2 in (t1, T] at which the accumulated
+// pre-action state becomes full, or T+1 if it never does. Because arrivals
+// are non-negative and the cost functions are monotone, fullness is
+// monotone in t2, so a binary search applies.
+func (s *searcher) nextFull(state core.Vector, t1 int) int {
+	tEnd := s.in.T()
+	lo, hi := t1+1, tEnd
+	if lo > hi {
+		return tEnd + 1
+	}
+	if !s.in.Model.Full(s.accumulated(state, t1, hi), s.in.C) {
+		return tEnd + 1
+	}
+	// Invariant: state at hi is full; state before lo is unknown/not full.
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if s.in.Model.Full(s.accumulated(state, t1, mid), s.in.C) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// h evaluates the heuristic at a node.
+func (s *searcher) h(n node) float64 {
+	if s.opts.DisableHeuristic {
+		return 0
+	}
+	var k core.Vector
+	if n.t < 0 {
+		k = s.in.Arrivals.TotalPerTable()
+	} else {
+		k = s.suffix[n.t]
+	}
+	total := 0.0
+	for i := range n.state {
+		total += s.lbs[i].at(n.state[i] + k[i])
+	}
+	return total
+}
+
+// edge is one generated successor.
+type edge struct {
+	to     node
+	action core.Vector // action applied at to.t
+	weight float64
+}
+
+// expand generates the successors of n.
+func (s *searcher) expand(n node) []edge {
+	tEnd := s.in.T()
+	t2 := s.nextFull(n.state, n.t)
+	if t2 > tEnd {
+		// Never full again: the only remaining move is the refresh at T.
+		pre := s.accumulated(n.state, n.t, tEnd)
+		return []edge{{
+			to:     node{t: tEnd, state: core.NewVector(s.in.N())},
+			action: pre,
+			weight: s.in.Model.Total(pre),
+		}}
+	}
+	pre := s.accumulated(n.state, n.t, t2)
+	if t2 == tEnd {
+		// Refresh coincides with the forced action: drain everything.
+		return []edge{{
+			to:     node{t: tEnd, state: core.NewVector(s.in.N())},
+			action: pre,
+			weight: s.in.Model.Total(pre),
+		}}
+	}
+	actions := core.GreedyActionSet(pre, s.in.Model, s.in.C, !s.opts.AllowNonMinimal)
+	out := make([]edge, 0, len(actions))
+	for _, q := range actions {
+		out = append(out, edge{
+			to:     node{t: t2, state: pre.Sub(q)},
+			action: q,
+			weight: s.in.Model.Total(q),
+		})
+	}
+	return out
+}
+
+// parentLink records how a node was best reached, for plan reconstruction.
+type parentLink struct {
+	from   string
+	action core.Vector
+	t      int // time the action was applied (== child node's t)
+}
+
+func (s *searcher) run() (*Result, error) {
+	tEnd := s.in.T()
+	source := node{t: -1, state: core.NewVector(s.in.N())}
+	destKey := node{t: tEnd, state: core.NewVector(s.in.N())}.key()
+
+	open := &priorityQueue{}
+	heap.Init(open)
+	items := map[string]*pqItem{}
+	parents := map[string]parentLink{}
+	closed := map[string]node{}
+
+	push := func(n node, g float64) {
+		k := n.key()
+		if it, ok := items[k]; ok {
+			if g < it.g {
+				it.g = g
+				it.d = g + s.h(n)
+				heap.Fix(open, it.index)
+			}
+			return
+		}
+		it := &pqItem{n: n, g: g, d: g + s.h(n)}
+		items[k] = it
+		heap.Push(open, it)
+	}
+
+	push(source, 0)
+	res := &Result{}
+	for open.Len() > 0 {
+		it := heap.Pop(open).(*pqItem)
+		k := it.n.key()
+		delete(items, k)
+		if _, done := closed[k]; done {
+			continue
+		}
+		closed[k] = it.n
+		res.Expanded++
+		if s.opts.MaxExpansions > 0 && res.Expanded > s.opts.MaxExpansions {
+			return nil, ErrBudgetExceeded
+		}
+		if k == destKey {
+			res.Cost = it.g
+			res.Plan = s.reconstruct(parents, k)
+			return res, nil
+		}
+		for _, e := range s.expand(it.n) {
+			ck := e.to.key()
+			if _, done := closed[ck]; done {
+				continue
+			}
+			res.Generated++
+			g := it.g + e.weight
+			if existing, ok := items[ck]; !ok || g < existing.g {
+				parents[ck] = parentLink{from: k, action: e.action, t: e.to.t}
+			}
+			push(e.to, g)
+		}
+	}
+	return nil, errors.New("astar: destination unreachable (internal invariant violated)")
+}
+
+// reconstruct rebuilds the plan from parent links.
+func (s *searcher) reconstruct(parents map[string]parentLink, destKey string) core.Plan {
+	tEnd := s.in.T()
+	n := s.in.N()
+	plan := make(core.Plan, tEnd+1)
+	for t := range plan {
+		plan[t] = core.NewVector(n)
+	}
+	k := destKey
+	for {
+		link, ok := parents[k]
+		if !ok {
+			break
+		}
+		plan[link.t] = link.action.Clone()
+		k = link.from
+	}
+	return plan
+}

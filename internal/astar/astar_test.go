@@ -1,0 +1,341 @@
+package astar
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"abivm/internal/bruteforce"
+	"abivm/internal/core"
+	"abivm/internal/costfn"
+)
+
+func mkInstance(t *testing.T, arr core.Arrivals, funcs []core.CostFunc, c float64) *core.Instance {
+	t.Helper()
+	in, err := core.NewInstance(arr, core.NewCostModel(funcs...), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func randArrivals(rng *rand.Rand, steps, n, maxArrive int) core.Arrivals {
+	arr := make(core.Arrivals, steps)
+	for t := range arr {
+		d := core.NewVector(n)
+		for i := range d {
+			d[i] = rng.Intn(maxArrive + 1)
+		}
+		arr[t] = d
+	}
+	return arr
+}
+
+func TestSearchProducesValidLGMPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lin1, _ := costfn.NewLinear(1, 2)
+	lin2, _ := costfn.NewLinear(0.5, 4)
+	for trial := 0; trial < 60; trial++ {
+		arr := randArrivals(rng, 3+rng.Intn(25), 2, 3)
+		in := mkInstance(t, arr, []core.CostFunc{lin1, lin2}, float64(8+rng.Intn(12)))
+		res, err := Search(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Validate(res.Plan); err != nil {
+			t.Fatalf("trial %d: A* plan invalid: %v", trial, err)
+		}
+		if !in.IsLazy(res.Plan) || !in.IsGreedy(res.Plan) || !in.IsMinimal(res.Plan) {
+			t.Fatalf("trial %d: A* plan not LGM", trial)
+		}
+		if got := in.Cost(res.Plan); absDiff(got, res.Cost) > 1e-9 {
+			t.Fatalf("trial %d: reported cost %g != recomputed %g", trial, res.Cost, got)
+		}
+	}
+}
+
+func TestSearchBeatsOrMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	lin1, _ := costfn.NewLinear(0.1, 1) // cheap per-mod, setup-dominated
+	lin2, _ := costfn.NewLinear(2, 0.5) // expensive per-mod
+	for trial := 0; trial < 40; trial++ {
+		arr := randArrivals(rng, 5+rng.Intn(30), 2, 2)
+		in := mkInstance(t, arr, []core.CostFunc{lin1, lin2}, float64(6+rng.Intn(8)))
+		res, err := Search(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := in.Cost(in.NaivePlan())
+		if res.Cost > naive+1e-9 {
+			t.Fatalf("trial %d: A* cost %g worse than naive %g", trial, res.Cost, naive)
+		}
+	}
+}
+
+func TestSearchOptimalUnderLinearCosts(t *testing.T) {
+	// Theorem 2: with linear cost functions the best LGM plan is globally
+	// optimal, so A* must match the brute-force optimum exactly.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		a1 := 0.5 + rng.Float64()*2
+		b1 := rng.Float64() * 3
+		a2 := 0.5 + rng.Float64()*2
+		b2 := rng.Float64() * 3
+		lin1, _ := costfn.NewLinear(a1, b1)
+		lin2, _ := costfn.NewLinear(a2, b2)
+		arr := randArrivals(rng, 3+rng.Intn(5), 2, 2)
+		in := mkInstance(t, arr, []core.CostFunc{lin1, lin2}, 4+rng.Float64()*6)
+		opt, _, err := bruteforce.Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Search(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if absDiff(res.Cost, opt) > 1e-6 {
+			t.Fatalf("trial %d: A* LGM cost %g != OPT %g (linear costs)", trial, res.Cost, opt)
+		}
+	}
+}
+
+func TestSearchTwoApproxUnderStepCosts(t *testing.T) {
+	// Theorem 1: for arbitrary monotone subadditive costs the best LGM
+	// plan is within 2x of the global optimum.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		step, _ := costfn.NewStep(1+rng.Intn(4), 1+rng.Float64()*2)
+		lin, _ := costfn.NewLinear(0.5+rng.Float64(), rng.Float64()*2)
+		arr := randArrivals(rng, 3+rng.Intn(5), 2, 2)
+		in := mkInstance(t, arr, []core.CostFunc{step, lin}, 3+rng.Float64()*5)
+		opt, _, err := bruteforce.Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Search(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt > 0 && res.Cost > 2*opt+1e-9 {
+			t.Fatalf("trial %d: A* LGM cost %g > 2*OPT %g", trial, res.Cost, opt)
+		}
+	}
+}
+
+func TestHeuristicAgreesWithDijkstra(t *testing.T) {
+	// Consistency check: the informed search must return exactly the same
+	// optimal cost as uninformed Dijkstra.
+	rng := rand.New(rand.NewSource(12))
+	lin1, _ := costfn.NewLinear(1, 3)
+	step, _ := costfn.NewStep(5, 2)
+	for trial := 0; trial < 30; trial++ {
+		arr := randArrivals(rng, 5+rng.Intn(25), 2, 3)
+		in := mkInstance(t, arr, []core.CostFunc{lin1, step}, float64(6+rng.Intn(10)))
+		astar, err := Search(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dij, err := Search(in, Options{DisableHeuristic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if absDiff(astar.Cost, dij.Cost) > 1e-9 {
+			t.Fatalf("trial %d: A* cost %g != Dijkstra cost %g", trial, astar.Cost, dij.Cost)
+		}
+		if astar.Expanded > dij.Expanded {
+			t.Logf("trial %d: heuristic expanded more nodes (%d > %d) — allowed but unusual",
+				trial, astar.Expanded, dij.Expanded)
+		}
+	}
+}
+
+func TestSearchNeverFullSequence(t *testing.T) {
+	// The state never fills: the only action is the refresh at T.
+	lin, _ := costfn.NewLinear(1, 0)
+	arr := core.Arrivals{{1}, {1}, {1}}
+	in := mkInstance(t, arr, []core.CostFunc{lin}, 100)
+	res, err := Search(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 3 {
+		t.Fatalf("cost = %g, want 3 (single refresh of 3 mods)", res.Cost)
+	}
+	if !res.Plan[2].Equal(core.Vector{3}) {
+		t.Fatalf("refresh action = %v, want [3]", res.Plan[2])
+	}
+}
+
+func TestSearchFullAtRefreshStep(t *testing.T) {
+	// The state first fills exactly at T: the refresh drains everything
+	// in one action.
+	lin, _ := costfn.NewLinear(1, 0)
+	arr := core.Arrivals{{1}, {1}, {4}}
+	in := mkInstance(t, arr, []core.CostFunc{lin}, 5)
+	res, err := Search(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 6 {
+		t.Fatalf("cost = %g, want 6", res.Cost)
+	}
+}
+
+func TestSearchAsymmetricExample(t *testing.T) {
+	// The paper's motivating asymmetry: table S has near-linear cost with
+	// no setup benefit (batching useless), table R has a large setup cost
+	// (batching valuable). The optimal LGM plan should flush S-heavy
+	// actions and defer R as long as possible, beating NAIVE clearly.
+	rCost, _ := costfn.NewLinear(0.05, 5) // indexed: tiny slope, big setup amortized by batching
+	sCost, _ := costfn.NewLinear(1.0, 0.1)
+	arr := make(core.Arrivals, 60)
+	for t := range arr {
+		arr[t] = core.Vector{1, 1}
+	}
+	in := mkInstance(t, arr, []core.CostFunc{rCost, sCost}, 12)
+	res, err := Search(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := in.Cost(in.NaivePlan())
+	if res.Cost >= naive {
+		t.Fatalf("asymmetric instance: A* %g not better than NAIVE %g", res.Cost, naive)
+	}
+}
+
+func TestSearchExpansionBudget(t *testing.T) {
+	lin1, _ := costfn.NewLinear(1, 2)
+	lin2, _ := costfn.NewLinear(1, 2)
+	arr := make(core.Arrivals, 200)
+	for t := range arr {
+		arr[t] = core.Vector{1, 1}
+	}
+	in := mkInstance(t, arr, []core.CostFunc{lin1, lin2}, 10)
+	_, err := Search(in, Options{MaxExpansions: 1})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	lin1, _ := costfn.NewLinear(1, 2)
+	lin2, _ := costfn.NewLinear(0.3, 4)
+	arr := make(core.Arrivals, 80)
+	rng := rand.New(rand.NewSource(99))
+	for t := range arr {
+		arr[t] = core.Vector{rng.Intn(3), rng.Intn(3)}
+	}
+	in := mkInstance(t, arr, []core.CostFunc{lin1, lin2}, 15)
+	first, err := Search(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Search(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Cost != first.Cost || again.Expanded != first.Expanded {
+			t.Fatalf("non-deterministic search: run %d gave (%g, %d), first gave (%g, %d)",
+				i, again.Cost, again.Expanded, first.Cost, first.Expanded)
+		}
+		for ti := range first.Plan {
+			if !again.Plan[ti].Equal(first.Plan[ti]) {
+				t.Fatalf("non-deterministic plan at t=%d", ti)
+			}
+		}
+	}
+}
+
+func TestSearchThreeTablesOptimalUnderLinearCosts(t *testing.T) {
+	// Theorem 2 with n=3: the subset enumeration and minimality logic are
+	// exercised beyond the two-table case.
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 15; trial++ {
+		var funcs []core.CostFunc
+		for j := 0; j < 3; j++ {
+			lin, _ := costfn.NewLinear(0.5+rng.Float64()*2, rng.Float64()*3)
+			funcs = append(funcs, lin)
+		}
+		arr := randArrivals(rng, 3+rng.Intn(3), 3, 2)
+		in := mkInstance(t, arr, funcs, 5+rng.Float64()*6)
+		opt, _, err := bruteforce.Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Search(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if absDiff(res.Cost, opt) > 1e-6 {
+			t.Fatalf("trial %d: A* %g != OPT %g", trial, res.Cost, opt)
+		}
+		if !in.IsLGM(res.Plan) {
+			t.Fatalf("trial %d: plan not LGM", trial)
+		}
+	}
+}
+
+func TestSearchWithCappedCosts(t *testing.T) {
+	// A cost that saturates at a cap (full-recompute fallback) exercises
+	// the MaxBatch horizon path in the heuristic: once the cap is below
+	// C, a table's backlog never forces an action on its own.
+	lin, _ := costfn.NewLinear(1, 0)
+	capped, err := costfn.NewCapped(lin, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steep, _ := costfn.NewLinear(2, 0)
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 15; trial++ {
+		arr := randArrivals(rng, 3+rng.Intn(10), 2, 3)
+		in := mkInstance(t, arr, []core.CostFunc{capped, steep}, 8+rng.Float64()*4)
+		res, err := Search(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Validate(res.Plan); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dij, err := Search(in, Options{DisableHeuristic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if absDiff(res.Cost, dij.Cost) > 1e-9 {
+			t.Fatalf("trial %d: A* %g != Dijkstra %g under capped costs", trial, res.Cost, dij.Cost)
+		}
+	}
+}
+
+func TestSearchAllowNonMinimalNeverWorse(t *testing.T) {
+	// Lazy-greedy plans are a superset of LGM plans, so dropping the
+	// minimality restriction can only help (or tie).
+	rng := rand.New(rand.NewSource(23))
+	step, _ := costfn.NewStep(3, 2)
+	lin, _ := costfn.NewLinear(1, 1)
+	for trial := 0; trial < 15; trial++ {
+		arr := randArrivals(rng, 3+rng.Intn(8), 2, 3)
+		in := mkInstance(t, arr, []core.CostFunc{step, lin}, 5+rng.Float64()*6)
+		minimal, err := Search(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := Search(in, Options{AllowNonMinimal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wide.Cost > minimal.Cost+1e-9 {
+			t.Fatalf("trial %d: non-minimal search cost %g worse than minimal %g", trial, wide.Cost, minimal.Cost)
+		}
+		if err := in.Validate(wide.Plan); err != nil {
+			t.Fatalf("trial %d: non-minimal plan invalid: %v", trial, err)
+		}
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

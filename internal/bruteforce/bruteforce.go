@@ -1,0 +1,129 @@
+// Package bruteforce computes globally optimal maintenance plans by
+// exhaustive dynamic programming over (time, state) pairs. It exists to
+// verify the paper's approximation guarantees on small instances: the
+// space of *all* valid plans (including non-lazy, non-greedy, partial
+// actions) is searched, so the result is the true OPT that Theorems 1, 2
+// and 4 compare against. Cost is exponential in the instance size; the
+// state-count cap keeps accidental misuse from hanging.
+package bruteforce
+
+import (
+	"errors"
+	"fmt"
+
+	"abivm/internal/core"
+)
+
+// ErrTooLarge is returned when the memoized state space exceeds the cap.
+var ErrTooLarge = errors.New("bruteforce: instance too large for exhaustive search")
+
+// maxStates caps the number of distinct (t, state) pairs memoized. It is
+// a variable so tests can lower it; the default is generous because every
+// intended use is a deliberately tiny verification instance.
+var maxStates = 2_000_000
+
+type solver struct {
+	in   *core.Instance
+	memo map[string]entry
+}
+
+type entry struct {
+	cost   float64
+	action core.Vector // best action at this (t, pre-state)
+}
+
+// Optimal returns the cost of a globally optimal valid plan for the
+// instance, together with one plan achieving it.
+func Optimal(in *core.Instance) (float64, core.Plan, error) {
+	s := &solver{in: in, memo: map[string]entry{}}
+	start := in.Arrivals[0].Clone()
+	cost, err := s.solve(0, start)
+	if err != nil {
+		return 0, nil, err
+	}
+	plan, err := s.reconstruct()
+	if err != nil {
+		return 0, nil, err
+	}
+	return cost, plan, nil
+}
+
+// solve returns the minimum cost to finish from pre-action state pre at
+// time t.
+func (s *solver) solve(t int, pre core.Vector) (float64, error) {
+	tEnd := s.in.T()
+	if t == tEnd {
+		// The refresh drains everything.
+		return s.in.Model.Total(pre), nil
+	}
+	key := fmt.Sprintf("%d|%s", t, pre.Key())
+	if e, ok := s.memo[key]; ok {
+		return e.cost, nil
+	}
+	if len(s.memo) >= maxStates {
+		return 0, ErrTooLarge
+	}
+	// Reserve the slot to account the state against the cap even while
+	// recursing; overwritten with the real entry below.
+	s.memo[key] = entry{}
+
+	best := -1.0
+	var bestAct core.Vector
+	act := core.NewVector(len(pre))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(pre) {
+			post := pre.Sub(act)
+			if s.in.Model.Full(post, s.in.C) {
+				return nil
+			}
+			next := post.Add(s.in.Arrivals[t+1])
+			rest, err := s.solve(t+1, next)
+			if err != nil {
+				return err
+			}
+			total := s.in.Model.Total(act) + rest
+			if best < 0 || total < best {
+				best = total
+				bestAct = act.Clone()
+			}
+			return nil
+		}
+		for v := 0; v <= pre[i]; v++ {
+			act[i] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		act[i] = 0
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, err
+	}
+	if best < 0 {
+		// Unreachable: the full drain always yields a non-full state.
+		return 0, fmt.Errorf("bruteforce: no valid action at t=%d state %v", t, pre)
+	}
+	s.memo[key] = entry{cost: best, action: bestAct}
+	return best, nil
+}
+
+// reconstruct replays the memoized best actions into a plan.
+func (s *solver) reconstruct() (core.Plan, error) {
+	tEnd := s.in.T()
+	plan := make(core.Plan, tEnd+1)
+	state := s.in.Arrivals[0].Clone()
+	for t := 0; t < tEnd; t++ {
+		key := fmt.Sprintf("%d|%s", t, state.Key())
+		e, ok := s.memo[key]
+		if !ok || e.action == nil {
+			return nil, fmt.Errorf("bruteforce: missing memo entry at t=%d", t)
+		}
+		plan[t] = e.action.Clone()
+		state.SubInPlace(plan[t])
+		state.AddInPlace(s.in.Arrivals[t+1])
+	}
+	plan[tEnd] = state.Clone()
+	return plan, nil
+}

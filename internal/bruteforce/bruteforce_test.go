@@ -1,0 +1,112 @@
+package bruteforce
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"abivm/internal/core"
+	"abivm/internal/costfn"
+)
+
+func TestOptimalHandComputedExample(t *testing.T) {
+	// Single table, f(k)=k+10, C=12 (so at most 2 unprocessed mods),
+	// arrivals 2 per step over 3 steps. Any plan must flush at t>=0...
+	// Optimal: do nothing at t=0 (state 2, cost 12 <= C), flush 4 at t=1?
+	// State at t=1 pre = 4, cost 14 > 12 -> action forced; options include
+	// partial drains. Optimal is two actions total: e.g. drain 2 at t=1
+	// (cost 12, post state 2 ok), refresh 4 at t=2 (cost 14): total 26.
+	// One action at t=1 of 4 (cost 14) + refresh 2 (cost 12) = 26 too.
+	f, err := costfn.NewLinear(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.NewInstance(core.Arrivals{{2}, {2}, {2}}, core.NewCostModel(f), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, plan, err := Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-26) > 1e-9 {
+		t.Fatalf("OPT = %g, want 26 (plan %v)", cost, plan)
+	}
+	if err := in.Validate(plan); err != nil {
+		t.Fatalf("optimal plan invalid: %v", err)
+	}
+	if got := in.Cost(plan); math.Abs(got-cost) > 1e-9 {
+		t.Fatalf("plan cost %g != reported %g", got, cost)
+	}
+}
+
+func TestOptimalNeverWorseThanNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f0, _ := costfn.NewLinear(1, 2)
+	f1, _ := costfn.NewStep(2, 3)
+	for trial := 0; trial < 20; trial++ {
+		arr := make(core.Arrivals, 2+rng.Intn(4))
+		for ti := range arr {
+			arr[ti] = core.Vector{rng.Intn(3), rng.Intn(3)}
+		}
+		in, err := core.NewInstance(arr, core.NewCostModel(f0, f1), float64(4+rng.Intn(6)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, plan, err := Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Validate(plan); err != nil {
+			t.Fatalf("trial %d: invalid optimal plan: %v", trial, err)
+		}
+		if naive := in.Cost(in.NaivePlan()); opt > naive+1e-9 {
+			t.Fatalf("trial %d: OPT %g worse than naive %g", trial, opt, naive)
+		}
+	}
+}
+
+func TestOptimalPartialDrainBeatsLGMOnStepCosts(t *testing.T) {
+	// The Section 3.2 tightness construction in miniature: step cost where
+	// draining one modification unlocks a cheaper schedule than greedy
+	// full drains. eps=1 -> f(x) = x/2*C for x<=2, 1.5*C beyond; with
+	// C=10: f(1)=5, f(2)=10, f(>=3)=15. Three arrivals per step force an
+	// action every step for greedy plans.
+	f, err := costfn.NewPiecewiseLinear([]costfn.Knot{{K: 0, Cost: 0}, {K: 2, Cost: 10}, {K: 3, Cost: 15}, {K: 1000, Cost: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.NewInstance(core.Arrivals{{3}, {3}}, core.NewCostModel(f), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, plan, err := Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OPT: drain 1 at t=0 (cost 5, post 2 -> refresh cost 10 = C ok),
+	// refresh 5 at t=1 (cost 15): total 20. Greedy plans pay 15+15 = 30.
+	if math.Abs(opt-20) > 1e-9 {
+		t.Fatalf("OPT = %g, want 20 (plan %v)", opt, plan)
+	}
+}
+
+func TestOptimalTooLarge(t *testing.T) {
+	old := maxStates
+	maxStates = 50
+	defer func() { maxStates = old }()
+
+	f, _ := costfn.NewLinear(0.5, 0)
+	arr := make(core.Arrivals, 10)
+	for ti := range arr {
+		arr[ti] = core.Vector{3, 3}
+	}
+	in, err := core.NewInstance(arr, core.NewCostModel(f, f), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Optimal(in); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,100 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAscendFrom(t *testing.T) {
+	m := New[int, int](intCmp)
+	for i := 0; i < 100; i += 2 { // even keys
+		m.Set(i, i)
+	}
+	var got []int
+	m.AscendFrom(31, func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) == 0 || got[0] != 32 {
+		t.Fatalf("first key = %v, want 32", got)
+	}
+	if got[len(got)-1] != 98 {
+		t.Fatalf("last key = %d, want 98", got[len(got)-1])
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("not sorted")
+	}
+	// Inclusive at an existing key.
+	got = got[:0]
+	m.AscendFrom(32, func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if got[0] != 32 {
+		t.Fatalf("AscendFrom not inclusive: first = %d", got[0])
+	}
+}
+
+func TestAscendFromEarlyStop(t *testing.T) {
+	m := New[int, int](intCmp)
+	for i := 0; i < 1000; i++ {
+		m.Set(i, i)
+	}
+	count := 0
+	m.AscendFrom(500, func(k, v int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("visited %d, want 5", count)
+	}
+}
+
+func TestAscendFromEmptyAndBeyond(t *testing.T) {
+	m := New[int, int](intCmp)
+	calls := 0
+	m.AscendFrom(0, func(int, int) bool { calls++; return true })
+	if calls != 0 {
+		t.Fatal("empty tree visited entries")
+	}
+	m.Set(1, 1)
+	m.AscendFrom(100, func(int, int) bool { calls++; return true })
+	if calls != 0 {
+		t.Fatal("AscendFrom beyond max visited entries")
+	}
+}
+
+func TestAscendFromRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New[int, int](intCmp)
+	keys := map[int]bool{}
+	for i := 0; i < 3000; i++ {
+		k := rng.Intn(10000)
+		m.Set(k, k)
+		keys[k] = true
+	}
+	sorted := make([]int, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Ints(sorted)
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Intn(10000)
+		idx := sort.SearchInts(sorted, lo)
+		var got []int
+		m.AscendFrom(lo, func(k, v int) bool {
+			got = append(got, k)
+			return true
+		})
+		want := sorted[idx:]
+		if len(got) != len(want) {
+			t.Fatalf("lo=%d: %d keys, want %d", lo, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("lo=%d: mismatch at %d", lo, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import "fmt"
+
+// CostFunc measures the cost of batch-processing k modifications from one
+// delta table. Implementations must be monotone (larger batches never cost
+// less) and subadditive (Cost(0)==0 and Cost(x+y) <= Cost(x)+Cost(y));
+// subadditivity is what makes batching worthwhile. The costfn package
+// provides the standard implementations and property probes.
+type CostFunc interface {
+	// Cost returns the cost of processing a batch of k modifications.
+	// Cost(0) must be 0. k is never negative.
+	Cost(k int) float64
+}
+
+// MaxBatcher is an optional interface for cost functions that can directly
+// answer "what is the largest batch whose cost is <= budget". The A*
+// heuristic needs this quantity; CostModel.MaxBatch falls back to an
+// exponential-probe/binary search for functions that do not implement it.
+type MaxBatcher interface {
+	// MaxBatch returns the largest k >= 0 with Cost(k) <= budget, or -1 if
+	// no finite maximum exists is never returned: implementations may cap
+	// at a documented horizon when the budget is never exceeded.
+	MaxBatch(budget float64) int
+}
+
+// CostModel bundles the per-table cost functions of an instance.
+type CostModel struct {
+	funcs []CostFunc
+}
+
+// NewCostModel builds a cost model from one CostFunc per base table.
+func NewCostModel(funcs ...CostFunc) *CostModel {
+	if len(funcs) == 0 {
+		panic("core: cost model needs at least one cost function")
+	}
+	return &CostModel{funcs: funcs}
+}
+
+// N returns the number of base tables the model covers.
+func (m *CostModel) N() int { return len(m.funcs) }
+
+// Func returns the cost function of table i.
+func (m *CostModel) Func(i int) CostFunc { return m.funcs[i] }
+
+// TableCost returns f_i(k): the cost of batch-processing k modifications
+// from delta table i.
+func (m *CostModel) TableCost(i, k int) float64 {
+	if k < 0 {
+		panic(fmt.Sprintf("core: negative batch size %d for table %d", k, i))
+	}
+	if k == 0 {
+		return 0
+	}
+	return m.funcs[i].Cost(k)
+}
+
+// Total returns f(v) = Σ_i f_i(v[i]), the refresh cost of state v or the
+// cost of action v.
+func (m *CostModel) Total(v Vector) float64 {
+	if len(v) != len(m.funcs) {
+		panic(fmt.Sprintf("core: vector length %d does not match model arity %d", len(v), len(m.funcs)))
+	}
+	total := 0.0
+	for i, k := range v {
+		total += m.TableCost(i, k)
+	}
+	return total
+}
+
+// Full reports whether state s violates the response-time constraint C,
+// i.e. f(s) > C. A valid plan must never leave a full post-action state.
+func (m *CostModel) Full(s Vector, c float64) bool { return m.Total(s) > c }
+
+// maxBatchHorizon bounds the fallback search in MaxBatch for cost
+// functions whose value never exceeds the budget (e.g. bounded costs).
+const maxBatchHorizon = 1 << 30
+
+// MaxBatch returns the largest batch size k such that f_i(k) <= budget.
+// If the cost function implements MaxBatcher the exact answer is delegated;
+// otherwise monotonicity justifies an exponential probe followed by a
+// binary search. If even maxBatchHorizon modifications fit in the budget,
+// maxBatchHorizon is returned.
+func (m *CostModel) MaxBatch(i int, budget float64) int {
+	f := m.funcs[i]
+	if mb, ok := f.(MaxBatcher); ok {
+		return mb.MaxBatch(budget)
+	}
+	if budget < 0 || f.Cost(1) > budget {
+		return 0
+	}
+	lo, hi := 1, 2
+	for hi < maxBatchHorizon && f.Cost(hi) <= budget {
+		lo = hi
+		hi *= 2
+	}
+	if hi >= maxBatchHorizon {
+		return maxBatchHorizon
+	}
+	// Invariant: Cost(lo) <= budget < Cost(hi).
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if f.Cost(mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Note on feasibility: every instance admits a valid plan. The constraint
+// applies to post-action states only, and draining every delta table is
+// always a permitted action, which leaves the zero state with f(0)=0 <= C.
+// What varies between instances is only how expensive the best plan is.

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// linFunc is a minimal linear cost function for tests in this package
+// (the real implementations live in costfn, which depends on core).
+type linFunc struct{ a, b float64 }
+
+func (f linFunc) Cost(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return f.a*float64(k) + f.b
+}
+
+// stepFunc is ceil(k/block)*c.
+type stepFunc struct {
+	block int
+	c     float64
+}
+
+func (f stepFunc) Cost(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return float64((k+f.block-1)/f.block) * f.c
+}
+
+// cappedFunc saturates at cap: min(a*k, cap). Used to exercise the
+// MaxBatch fallback horizon.
+type cappedFunc struct{ a, cap float64 }
+
+func (f cappedFunc) Cost(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return math.Min(f.a*float64(k), f.cap)
+}
+
+func testModel(funcs ...CostFunc) *CostModel { return NewCostModel(funcs...) }
+
+func TestCostModelTotal(t *testing.T) {
+	m := testModel(linFunc{1, 2}, linFunc{0.5, 0})
+	if got := m.Total(Vector{0, 0}); got != 0 {
+		t.Fatalf("Total(zero) = %g", got)
+	}
+	// f0(3)=5, f1(4)=2.
+	if got := m.Total(Vector{3, 4}); got != 7 {
+		t.Fatalf("Total = %g, want 7", got)
+	}
+}
+
+func TestCostModelTableCostZero(t *testing.T) {
+	m := testModel(linFunc{1, 100})
+	if got := m.TableCost(0, 0); got != 0 {
+		t.Fatalf("TableCost(0) = %g, want 0 despite intercept", got)
+	}
+}
+
+func TestCostModelFull(t *testing.T) {
+	m := testModel(linFunc{1, 0})
+	if m.Full(Vector{5}, 5) {
+		t.Error("state at exactly C reported full")
+	}
+	if !m.Full(Vector{6}, 5) {
+		t.Error("state above C not reported full")
+	}
+}
+
+func TestMaxBatchBinarySearch(t *testing.T) {
+	m := testModel(linFunc{2, 3}) // f(k)=2k+3
+	cases := []struct {
+		budget float64
+		want   int
+	}{
+		{0, 0},
+		{4.9, 0},  // f(1)=5
+		{5, 1},    // exactly f(1)
+		{10, 3},   // f(3)=9, f(4)=11
+		{103, 50}, // f(50)=103
+	}
+	for _, c := range cases {
+		if got := m.MaxBatch(0, c.budget); got != c.want {
+			t.Errorf("MaxBatch(budget=%g) = %d, want %d", c.budget, got, c.want)
+		}
+	}
+}
+
+func TestMaxBatchStep(t *testing.T) {
+	m := testModel(stepFunc{block: 10, c: 4}) // f(k)=ceil(k/10)*4
+	// budget 8 -> 2 blocks -> k up to 20.
+	if got := m.MaxBatch(0, 8); got != 20 {
+		t.Fatalf("MaxBatch = %d, want 20", got)
+	}
+	if got := m.MaxBatch(0, 3.9); got != 0 {
+		t.Fatalf("MaxBatch below one block = %d, want 0", got)
+	}
+}
+
+func TestMaxBatchUnboundedBudget(t *testing.T) {
+	m := testModel(cappedFunc{a: 1, cap: 10})
+	if got := m.MaxBatch(0, 100); got != maxBatchHorizon {
+		t.Fatalf("MaxBatch with saturating cost = %d, want horizon %d", got, maxBatchHorizon)
+	}
+}
+
+func TestMaxBatchDelegatesToMaxBatcher(t *testing.T) {
+	m := testModel(fixedMaxBatcher{})
+	if got := m.MaxBatch(0, 42); got != 777 {
+		t.Fatalf("MaxBatch = %d, want delegated 777", got)
+	}
+}
+
+type fixedMaxBatcher struct{}
+
+func (fixedMaxBatcher) Cost(k int) float64   { return float64(k) }
+func (fixedMaxBatcher) MaxBatch(float64) int { return 777 }
+
+func TestCostModelPanicsOnArityMismatch(t *testing.T) {
+	m := testModel(linFunc{1, 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Total with wrong arity did not panic")
+		}
+	}()
+	_ = m.Total(Vector{1, 2})
+}
+
+func TestNewCostModelRequiresFuncs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty cost model did not panic")
+		}
+	}()
+	_ = NewCostModel()
+}

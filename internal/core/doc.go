@@ -1,0 +1,23 @@
+// Package core defines the problem model of asymmetric batch incremental
+// view maintenance (He, Xie, Yang, Yu; ICDE 2005).
+//
+// A materialized view V is defined over n base tables R_1..R_n. Time is
+// discrete. At each step t an arrival vector d_t reports how many
+// modifications landed on each base table; modifications are appended to
+// per-table delta tables. A maintenance plan is a sequence of action
+// vectors p_t: at step t the plan drains the earliest p_t[i] modifications
+// from delta table i and propagates them into the view.
+//
+// Batch-processing k modifications of table i costs f_i(k), where every
+// f_i is monotone and subadditive (f_i(0)=0, f_i(x+y) <= f_i(x)+f_i(y)).
+// The response-time constraint requires every post-action state s to
+// satisfy f(s) = Σ_i f_i(s[i]) <= C, so that an on-demand refresh always
+// completes within cost C. The goal is to minimize the total plan cost
+// Σ_t f(p_t) subject to the constraint, with all delta tables emptied at
+// the refresh time T.
+//
+// This package holds the vocabulary shared by every other package: count
+// vectors, states, actions, plans, arrival sequences, cost models, and the
+// validity rules of Definition 1 (valid), Definition 2 (lazy) and
+// Definition 3 (LGM) of the paper.
+package core

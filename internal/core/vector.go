@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is an n-component count vector. It represents arrivals (d_t),
+// actions (p_t) or states (s_t): component i counts modifications on base
+// table R_i. Components are never negative in a well-formed instance.
+type Vector []int
+
+// NewVector returns a zero vector with n components.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// IsZero reports whether every component of v is zero.
+func (v Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the total count across all components.
+func (v Vector) Sum() int {
+	s := 0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Add returns v + w as a new vector. It panics if the lengths differ.
+func (v Vector) Add(w Vector) Vector {
+	mustSameLen(v, w)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w as a new vector. It panics if the lengths differ.
+func (v Vector) Sub(w Vector) Vector {
+	mustSameLen(v, w)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// AddInPlace adds w into v component-wise.
+func (v Vector) AddInPlace(w Vector) {
+	mustSameLen(v, w)
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// SubInPlace subtracts w from v component-wise.
+func (v Vector) SubInPlace(w Vector) {
+	mustSameLen(v, w)
+	for i := range v {
+		v[i] -= w[i]
+	}
+}
+
+// NonNegative reports whether every component of v is >= 0.
+func (v Vector) NonNegative() bool {
+	for _, x := range v {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DominatedBy reports whether v <= w component-wise.
+func (v Vector) DominatedBy(w Vector) bool {
+	mustSameLen(v, w)
+	for i := range v {
+		if v[i] > w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and w have identical components.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string usable as a map key for deduplicating
+// states during search.
+func (v Vector) Key() string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// String renders v as "[a b c]".
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func mustSameLen(v, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("core: vector length mismatch %d vs %d", len(v), len(w)))
+	}
+}

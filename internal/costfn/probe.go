@@ -1,0 +1,51 @@
+package costfn
+
+import "abivm/internal/core"
+
+// CheckMonotone verifies Cost(k) >= Cost(k-1) for all k in [1, upTo].
+// It returns the first violating k, or 0 if none.
+func CheckMonotone(f core.CostFunc, upTo int) int {
+	prev := f.Cost(0)
+	for k := 1; k <= upTo; k++ {
+		cur := f.Cost(k)
+		if cur < prev {
+			return k
+		}
+		prev = cur
+	}
+	return 0
+}
+
+// CheckSubadditive verifies Cost(0)==0 and Cost(x+y) <= Cost(x)+Cost(y)
+// for all 1 <= x <= y with x+y <= upTo, within a small relative tolerance
+// for float drift. It returns the first violating (x, y), or (0, 0).
+func CheckSubadditive(f core.CostFunc, upTo int) (x, y int) {
+	const eps = 1e-9
+	if f.Cost(0) != 0 {
+		return 0, 1
+	}
+	costs := make([]float64, upTo+1)
+	for k := 0; k <= upTo; k++ {
+		costs[k] = f.Cost(k)
+	}
+	for a := 1; a <= upTo; a++ {
+		for b := a; a+b <= upTo; b++ {
+			sum := costs[a] + costs[b]
+			if costs[a+b] > sum+eps*(1+sum) {
+				return a, b
+			}
+		}
+	}
+	return 0, 0
+}
+
+// IsWellFormed reports whether f is monotone and subadditive over
+// [0, upTo]; it is the combined probe used by tests and by the cost-model
+// fitter before a measured function is trusted.
+func IsWellFormed(f core.CostFunc, upTo int) bool {
+	if CheckMonotone(f, upTo) != 0 {
+		return false
+	}
+	x, _ := CheckSubadditive(f, upTo)
+	return x == 0
+}

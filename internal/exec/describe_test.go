@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"abivm/internal/storage"
+)
+
+func TestAggKindString(t *testing.T) {
+	cases := map[AggKind]string{
+		AggMin: "MIN", AggMax: "MAX", AggSum: "SUM", AggCount: "COUNT", AggAvg: "AVG",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := AggKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestColString(t *testing.T) {
+	if got := (Col{Table: "s", Name: "k"}).String(); got != "s.k" {
+		t.Errorf("qualified = %q", got)
+	}
+	if got := (Col{Name: "k"}).String(); got != "k" {
+		t.Errorf("bare = %q", got)
+	}
+}
+
+func TestDescribeAccessors(t *testing.T) {
+	supp := suppliers(t)
+	nat := nations(t)
+	if err := nat.CreateIndex("pk", storage.HashIndex, "nationkey"); err != nil {
+		t.Fatal(err)
+	}
+
+	scan := NewSeqScan(supp, "supplier") // alias == table name
+	if got := scan.Describe(); got != "supplier" {
+		t.Errorf("SeqScan.Describe = %q", got)
+	}
+	aliased := NewSeqScan(supp, "s")
+	if got := aliased.Describe(); got != "supplier AS s" {
+		t.Errorf("aliased = %q", got)
+	}
+
+	f := NewFilter(aliased, func(storage.Row) bool { return true })
+	if f.Input() != aliased {
+		t.Error("Filter.Input mismatch")
+	}
+
+	hj, err := NewHashJoin(aliased, NewSeqScan(nat, "n"), []int{2}, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hj.Left() != aliased || hj.Right() == nil {
+		t.Error("HashJoin accessors")
+	}
+	if got := hj.Describe(); !strings.Contains(got, "s.nationkey=n.nationkey") {
+		t.Errorf("HashJoin.Describe = %q", got)
+	}
+
+	ilj, err := NewIndexLoopJoin(aliased, nat, "n", nat.IndexOn("nationkey"), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ilj.Left() != aliased {
+		t.Error("IndexLoopJoin.Left mismatch")
+	}
+	if got := ilj.Describe(); !strings.Contains(got, "inner=nation via pk") {
+		t.Errorf("IndexLoopJoin.Describe = %q", got)
+	}
+
+	agg, err := NewHashAgg(aliased, []int{2}, []AggSpec{{Kind: AggCount, Name: "c"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Input() != aliased {
+		t.Error("HashAgg.Input mismatch")
+	}
+	if got := agg.Describe(); !strings.Contains(got, "group=[s.nationkey]") || !strings.Contains(got, "aggs=[COUNT]") {
+		t.Errorf("HashAgg.Describe = %q", got)
+	}
+
+	srt, err := NewSort(aliased, []SortKey{{Col: 0, Desc: true}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srt.Input() != aliased {
+		t.Error("Sort.Input mismatch")
+	}
+	if got := srt.Describe(); !strings.Contains(got, "s.suppkey DESC") {
+		t.Errorf("Sort.Describe = %q", got)
+	}
+
+	lim, err := NewLimit(srt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.N() != 4 || lim.Input() != srt {
+		t.Error("Limit accessors")
+	}
+}

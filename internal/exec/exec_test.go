@@ -1,0 +1,317 @@
+package exec
+
+import (
+	"testing"
+
+	"abivm/internal/storage"
+)
+
+func mkTable(t *testing.T, name string, cols []storage.Column, key string, rows []storage.Row) *storage.Table {
+	t.Helper()
+	schema, err := storage.NewSchema(name, cols, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable(schema, nil)
+	for _, r := range rows {
+		if err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func suppliers(t *testing.T) *storage.Table {
+	return mkTable(t, "supplier",
+		[]storage.Column{
+			{Name: "suppkey", Type: storage.TInt},
+			{Name: "name", Type: storage.TString},
+			{Name: "nationkey", Type: storage.TInt},
+		}, "suppkey",
+		[]storage.Row{
+			{storage.I(1), storage.S("alpha"), storage.I(10)},
+			{storage.I(2), storage.S("beta"), storage.I(10)},
+			{storage.I(3), storage.S("gamma"), storage.I(20)},
+		})
+}
+
+func nations(t *testing.T) *storage.Table {
+	return mkTable(t, "nation",
+		[]storage.Column{
+			{Name: "nationkey", Type: storage.TInt},
+			{Name: "nname", Type: storage.TString},
+		}, "nationkey",
+		[]storage.Row{
+			{storage.I(10), storage.S("FRANCE")},
+			{storage.I(20), storage.S("JAPAN")},
+		})
+}
+
+func TestSeqScan(t *testing.T) {
+	scan := NewSeqScan(suppliers(t), "s")
+	cols := scan.Columns()
+	if len(cols) != 3 || cols[0].Table != "s" || cols[0].Name != "suppkey" {
+		t.Fatalf("columns = %v", cols)
+	}
+	rows, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Reopening restarts the scan.
+	rows, err = Collect(scan)
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("second collect: %d rows, err %v", len(rows), err)
+	}
+}
+
+func TestRowsSource(t *testing.T) {
+	stats := &storage.Stats{}
+	src := NewRowsSource([]Col{{Name: "x", Type: storage.TInt}},
+		[]storage.Row{{storage.I(1)}, {storage.I(2)}}, stats)
+	rows, err := Collect(src)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("%d rows, err %v", len(rows), err)
+	}
+	if stats.RowsScanned != 2 {
+		t.Fatalf("RowsScanned = %d", stats.RowsScanned)
+	}
+	// Reopen restarts.
+	rows, _ = Collect(src)
+	if len(rows) != 2 {
+		t.Fatalf("after reopen: %d rows", len(rows))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	scan := NewSeqScan(suppliers(t), "s")
+	f := NewFilter(scan, func(r storage.Row) bool { return r[2].Int() == 10 })
+	rows, err := Collect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("filtered rows = %d", len(rows))
+	}
+}
+
+func TestProject(t *testing.T) {
+	stats := &storage.Stats{}
+	scan := NewSeqScan(suppliers(t), "s")
+	p, err := NewProject(scan,
+		[]Col{{Name: "double", Type: storage.TInt}},
+		[]Scalar{func(r storage.Row) storage.Value { return storage.I(r[0].Int() * 2) }},
+		stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0].Int() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if stats.RowsEmitted != 3 {
+		t.Fatalf("RowsEmitted = %d", stats.RowsEmitted)
+	}
+	if _, err := NewProject(scan, []Col{{Name: "x"}}, nil, nil); err == nil {
+		t.Fatal("mismatched project accepted")
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	stats := &storage.Stats{}
+	left := NewSeqScan(suppliers(t), "s")
+	right := NewSeqScan(nations(t), "n")
+	j, err := NewHashJoin(left, right, []int{2}, []int{0}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("join rows = %d", len(rows))
+	}
+	cols := j.Columns()
+	if len(cols) != 5 || cols[3].Table != "n" {
+		t.Fatalf("join columns = %v", cols)
+	}
+	for _, r := range rows {
+		if r[2].Int() != r[3].Int() {
+			t.Fatalf("join key mismatch in %v", r)
+		}
+	}
+	if stats.HashBuildRows != 2 || stats.HashProbeRows != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.BatchSetups != 1 {
+		t.Fatalf("BatchSetups = %d", stats.BatchSetups)
+	}
+}
+
+func TestHashJoinValidation(t *testing.T) {
+	left := NewSeqScan(suppliers(t), "s")
+	right := NewSeqScan(nations(t), "n")
+	if _, err := NewHashJoin(left, right, nil, nil, nil); err == nil {
+		t.Fatal("empty keys accepted")
+	}
+	if _, err := NewHashJoin(left, right, []int{99}, []int{0}, nil); err == nil {
+		t.Fatal("out-of-range left key accepted")
+	}
+	if _, err := NewHashJoin(left, right, []int{0}, []int{99}, nil); err == nil {
+		t.Fatal("out-of-range right key accepted")
+	}
+}
+
+func TestIndexLoopJoin(t *testing.T) {
+	supp := suppliers(t)
+	nat := nations(t)
+	if err := nat.CreateIndex("pk", storage.HashIndex, "nationkey"); err != nil {
+		t.Fatal(err)
+	}
+	ix := nat.IndexOn("nationkey")
+	left := NewSeqScan(supp, "s")
+	j, err := NewIndexLoopJoin(left, nat, "n", ix, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("join rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[2].Int() != r[3].Int() {
+			t.Fatalf("join key mismatch in %v", r)
+		}
+	}
+	// Probes counted on the inner table.
+	if nat.Stats().IndexProbes == 0 {
+		t.Fatal("no index probes recorded")
+	}
+}
+
+func TestIndexLoopJoinValidation(t *testing.T) {
+	nat := nations(t)
+	left := NewSeqScan(suppliers(t), "s")
+	if _, err := NewIndexLoopJoin(left, nat, "n", nil, []int{2}); err == nil {
+		t.Fatal("nil index accepted")
+	}
+	_ = nat.CreateIndex("pk", storage.HashIndex, "nationkey")
+	ix := nat.IndexOn("nationkey")
+	if _, err := NewIndexLoopJoin(left, nat, "n", ix, []int{2, 0}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := NewIndexLoopJoin(left, nat, "n", ix, []int{77}); err == nil {
+		t.Fatal("out-of-range key accepted")
+	}
+}
+
+func TestHashAggGrandTotal(t *testing.T) {
+	scan := NewSeqScan(suppliers(t), "s")
+	agg, err := NewHashAgg(scan, nil, []AggSpec{
+		{Kind: AggCount, Name: "cnt"},
+		{Kind: AggMin, Arg: func(r storage.Row) storage.Value { return r[0] }, Name: "min_k"},
+		{Kind: AggMax, Arg: func(r storage.Row) storage.Value { return r[0] }, Name: "max_k"},
+		{Kind: AggSum, Arg: func(r storage.Row) storage.Value { return r[0] }, Name: "sum_k"},
+		{Kind: AggAvg, Arg: func(r storage.Row) storage.Value { return r[0] }, Name: "avg_k"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("agg rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r[0].Int() != 3 || r[1].Int() != 1 || r[2].Int() != 3 || r[3].Float() != 6 || r[4].Float() != 2 {
+		t.Fatalf("agg row = %v", r)
+	}
+}
+
+func TestHashAggGroupBy(t *testing.T) {
+	scan := NewSeqScan(suppliers(t), "s")
+	agg, err := NewHashAgg(scan, []int{2}, []AggSpec{{Kind: AggCount, Name: "cnt"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	// Deterministic order by encoded group key: nation 10 before 20.
+	if rows[0][0].Int() != 10 || rows[0][1].Int() != 2 {
+		t.Fatalf("group 0 = %v", rows[0])
+	}
+	if rows[1][0].Int() != 20 || rows[1][1].Int() != 1 {
+		t.Fatalf("group 1 = %v", rows[1])
+	}
+}
+
+func TestHashAggEmptyInput(t *testing.T) {
+	src := NewRowsSource([]Col{{Name: "x", Type: storage.TInt}}, nil, nil)
+	// Grand aggregate over empty input: one row with COUNT 0.
+	agg, err := NewHashAgg(src, nil, []AggSpec{{Kind: AggCount, Name: "cnt"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int() != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Grouped aggregate over empty input: no rows.
+	agg2, _ := NewHashAgg(src, []int{0}, []AggSpec{{Kind: AggCount, Name: "cnt"}}, nil)
+	rows, err = Collect(agg2)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("grouped empty: %v, %v", rows, err)
+	}
+}
+
+func TestHashAggValidation(t *testing.T) {
+	src := NewRowsSource([]Col{{Name: "x", Type: storage.TInt}}, nil, nil)
+	if _, err := NewHashAgg(src, nil, nil, nil); err == nil {
+		t.Fatal("no specs accepted")
+	}
+	if _, err := NewHashAgg(src, []int{5}, []AggSpec{{Kind: AggCount}}, nil); err == nil {
+		t.Fatal("bad group column accepted")
+	}
+}
+
+func TestFindCol(t *testing.T) {
+	cols := []Col{
+		{Table: "s", Name: "k", Type: storage.TInt},
+		{Table: "n", Name: "k", Type: storage.TInt},
+		{Table: "n", Name: "name", Type: storage.TString},
+	}
+	if got := FindCol(cols, "s", "k"); got != 0 {
+		t.Errorf("qualified = %d", got)
+	}
+	if got := FindCol(cols, "", "name"); got != 2 {
+		t.Errorf("unqualified unique = %d", got)
+	}
+	if got := FindCol(cols, "", "k"); got != -2 {
+		t.Errorf("ambiguous = %d", got)
+	}
+	if got := FindCol(cols, "", "zzz"); got != -1 {
+		t.Errorf("missing = %d", got)
+	}
+	if got := FindCol(cols, "x", "k"); got != -1 {
+		t.Errorf("wrong table = %d", got)
+	}
+}

@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"fmt"
+
+	"abivm/internal/storage"
+)
+
+// IndexRangeScan reads the rows of a table whose ordered-index key falls
+// within a range, in ascending key order. The planner chooses it for
+// single-table comparison predicates over a column with an ordered
+// index; the original predicate is still applied as a filter above, so
+// the range is purely an access-path narrowing.
+type IndexRangeScan struct {
+	table  *storage.Table
+	alias  string
+	index  *storage.Index
+	lo, hi *storage.Bound
+	cols   []Col
+
+	rows []storage.Row
+	pos  int
+}
+
+// NewIndexRangeScan returns a range scan over the table via an ordered
+// index; either bound may be nil (unbounded).
+func NewIndexRangeScan(table *storage.Table, alias string, index *storage.Index, lo, hi *storage.Bound) (*IndexRangeScan, error) {
+	if index == nil {
+		return nil, fmt.Errorf("exec: index range scan needs an index")
+	}
+	if index.Kind != storage.OrderedIndex {
+		return nil, fmt.Errorf("exec: index range scan needs an ordered index, got %q", index.Name)
+	}
+	schema := table.Schema()
+	cols := make([]Col, len(schema.Columns))
+	for i, c := range schema.Columns {
+		cols[i] = Col{Table: alias, Name: c.Name, Type: c.Type}
+	}
+	return &IndexRangeScan{table: table, alias: alias, index: index, lo: lo, hi: hi, cols: cols}, nil
+}
+
+// Columns implements Op.
+func (s *IndexRangeScan) Columns() []Col { return s.cols }
+
+// Open implements Op: it materializes the matching rows in key order.
+func (s *IndexRangeScan) Open() error {
+	s.rows = s.rows[:0]
+	s.table.ScanRangeVia(s.index, s.lo, s.hi, func(r storage.Row) bool {
+		s.rows = append(s.rows, r)
+		return true
+	})
+	s.pos = 0
+	return nil
+}
+
+// Next implements Op.
+func (s *IndexRangeScan) Next() (storage.Row, bool) {
+	if s.pos >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Close implements Op.
+func (s *IndexRangeScan) Close() { s.rows = nil }
+
+// Describe renders the scan for EXPLAIN output.
+func (s *IndexRangeScan) Describe() string {
+	bound := func(b *storage.Bound, op, opExcl string) string {
+		if b == nil {
+			return ""
+		}
+		if b.Exclusive {
+			return fmt.Sprintf(" key %s %s", opExcl, b.Value)
+		}
+		return fmt.Sprintf(" key %s %s", op, b.Value)
+	}
+	return fmt.Sprintf("%s AS %s via %s%s%s",
+		s.table.Schema().Name, s.alias, s.index.Name,
+		bound(s.lo, ">=", ">"), bound(s.hi, "<=", "<"))
+}

@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"abivm/internal/storage"
+)
+
+func rangeTable(t *testing.T) *storage.Table {
+	t.Helper()
+	tbl := mkTable(t, "m",
+		[]storage.Column{
+			{Name: "k", Type: storage.TInt},
+			{Name: "score", Type: storage.TFloat},
+		}, "k", nil)
+	if err := tbl.CreateIndex("score_ord", storage.OrderedIndex, "score"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if err := tbl.Insert(storage.Row{storage.I(i), storage.F(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestIndexRangeScan(t *testing.T) {
+	tbl := rangeTable(t)
+	scan, err := NewIndexRangeScan(tbl, "m", tbl.IndexOn("score"),
+		&storage.Bound{Value: storage.F(5)},
+		&storage.Bound{Value: storage.F(10), Exclusive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // scores 5..9
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	for i := 1; i < len(rows); i++ {
+		if storage.Compare(rows[i-1][1], rows[i][1]) > 0 {
+			t.Fatal("not in key order")
+		}
+	}
+	// Reopen restarts.
+	rows, err = Collect(scan)
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("after reopen: %d rows, err %v", len(rows), err)
+	}
+}
+
+func TestIndexRangeScanUnbounded(t *testing.T) {
+	tbl := rangeTable(t)
+	scan, err := NewIndexRangeScan(tbl, "m", tbl.IndexOn("score"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(scan)
+	if err != nil || len(rows) != 20 {
+		t.Fatalf("%d rows, err %v", len(rows), err)
+	}
+}
+
+func TestIndexRangeScanValidation(t *testing.T) {
+	tbl := rangeTable(t)
+	if _, err := NewIndexRangeScan(tbl, "m", nil, nil, nil); err == nil {
+		t.Fatal("nil index accepted")
+	}
+	if err := tbl.CreateIndex("k_hash", storage.HashIndex, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIndexRangeScan(tbl, "m", tbl.IndexOn("k"), nil, nil); err == nil {
+		t.Fatal("hash index accepted")
+	}
+}
+
+func TestIndexRangeScanDescribe(t *testing.T) {
+	tbl := rangeTable(t)
+	scan, err := NewIndexRangeScan(tbl, "alias", tbl.IndexOn("score"),
+		&storage.Bound{Value: storage.F(2), Exclusive: true},
+		&storage.Bound{Value: storage.F(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := scan.Describe()
+	for _, want := range []string{"m AS alias", "score_ord", "key > 2", "key <= 7"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe %q missing %q", d, want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"abivm/internal/storage"
+)
+
+// SortKey is one ordering key of a Sort operator.
+type SortKey struct {
+	Col  int // input column position
+	Desc bool
+}
+
+// Sort materializes its input and emits it ordered by the sort keys
+// (a stable sort, so equal keys keep input order). Each sorted row
+// charges one RowsEmitted unit; the materialization pass charges one
+// BatchSetups unit.
+type Sort struct {
+	in    Op
+	keys  []SortKey
+	stats *storage.Stats
+
+	rows []storage.Row
+	pos  int
+}
+
+// NewSort validates the keys against the input schema.
+func NewSort(in Op, keys []SortKey, stats *storage.Stats) (*Sort, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("exec: sort needs at least one key")
+	}
+	cols := in.Columns()
+	for _, k := range keys {
+		if k.Col < 0 || k.Col >= len(cols) {
+			return nil, fmt.Errorf("exec: sort key %d out of range", k.Col)
+		}
+	}
+	return &Sort{in: in, keys: keys, stats: stats}, nil
+}
+
+// Columns implements Op.
+func (s *Sort) Columns() []Col { return s.in.Columns() }
+
+// Open implements Op: it drains the input and sorts.
+func (s *Sort) Open() error {
+	if err := s.in.Open(); err != nil {
+		return err
+	}
+	defer s.in.Close()
+	s.rows = s.rows[:0]
+	for {
+		r, ok := s.in.Next()
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, r)
+	}
+	if s.stats != nil {
+		s.stats.BatchSetups++
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		for _, k := range s.keys {
+			c := storage.Compare(s.rows[i][k.Col], s.rows[j][k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.pos = 0
+	return nil
+}
+
+// Next implements Op.
+func (s *Sort) Next() (storage.Row, bool) {
+	if s.pos >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	if s.stats != nil {
+		s.stats.RowsEmitted++
+	}
+	return r, true
+}
+
+// Close implements Op.
+func (s *Sort) Close() { s.rows = nil }
+
+// Describe renders the sort keys for EXPLAIN output.
+func (s *Sort) Describe() string {
+	cols := s.in.Columns()
+	out := ""
+	for i, k := range s.keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += cols[k.Col].String()
+		if k.Desc {
+			out += " DESC"
+		}
+	}
+	return "by " + out
+}
+
+// Input returns the sort's child operator.
+func (s *Sort) Input() Op { return s.in }
+
+// Limit passes through at most N rows.
+type Limit struct {
+	in   Op
+	n    int64
+	seen int64
+}
+
+// NewLimit validates the row cap.
+func NewLimit(in Op, n int64) (*Limit, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("exec: negative limit %d", n)
+	}
+	return &Limit{in: in, n: n}, nil
+}
+
+// Columns implements Op.
+func (l *Limit) Columns() []Col { return l.in.Columns() }
+
+// Open implements Op.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.in.Open()
+}
+
+// Next implements Op.
+func (l *Limit) Next() (storage.Row, bool) {
+	if l.seen >= l.n {
+		return nil, false
+	}
+	r, ok := l.in.Next()
+	if !ok {
+		return nil, false
+	}
+	l.seen++
+	return r, true
+}
+
+// Close implements Op.
+func (l *Limit) Close() { l.in.Close() }
+
+// N returns the row cap.
+func (l *Limit) N() int64 { return l.n }
+
+// Input returns the limit's child operator.
+func (l *Limit) Input() Op { return l.in }

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"testing"
+
+	"abivm/internal/storage"
+)
+
+func sortInput(stats *storage.Stats) *RowsSource {
+	cols := []Col{
+		{Name: "k", Type: storage.TInt},
+		{Name: "v", Type: storage.TString},
+	}
+	rows := []storage.Row{
+		{storage.I(3), storage.S("c")},
+		{storage.I(1), storage.S("a")},
+		{storage.I(2), storage.S("b")},
+		{storage.I(1), storage.S("z")},
+	}
+	return NewRowsSource(cols, rows, stats)
+}
+
+func TestSortAscendingStable(t *testing.T) {
+	stats := &storage.Stats{}
+	s, err := NewSort(sortInput(stats), []SortKey{{Col: 0}}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK := []int64{1, 1, 2, 3}
+	wantV := []string{"a", "z", "b", "c"} // stable: "a" before "z"
+	for i := range wantK {
+		if rows[i][0].Int() != wantK[i] || rows[i][1].Str() != wantV[i] {
+			t.Fatalf("row %d = %v", i, rows[i])
+		}
+	}
+	if stats.RowsEmitted == 0 || stats.BatchSetups == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestSortDescendingAndMultiKey(t *testing.T) {
+	s, err := NewSort(sortInput(nil), []SortKey{{Col: 0, Desc: true}, {Col: 1, Desc: true}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV := []string{"c", "b", "z", "a"}
+	for i := range wantV {
+		if rows[i][1].Str() != wantV[i] {
+			t.Fatalf("row %d = %v", i, rows[i])
+		}
+	}
+}
+
+func TestSortValidation(t *testing.T) {
+	if _, err := NewSort(sortInput(nil), nil, nil); err == nil {
+		t.Fatal("no keys accepted")
+	}
+	if _, err := NewSort(sortInput(nil), []SortKey{{Col: 9}}, nil); err == nil {
+		t.Fatal("out-of-range key accepted")
+	}
+}
+
+func TestSortReopen(t *testing.T) {
+	s, err := NewSort(sortInput(nil), []SortKey{{Col: 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Collect(s)
+	if err != nil || len(second) != len(first) {
+		t.Fatalf("reopen: %d rows, err %v", len(second), err)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	l, err := NewLimit(sortInput(nil), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(l)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("%d rows, err %v", len(rows), err)
+	}
+	// Reopen resets the counter.
+	rows, err = Collect(l)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("reopen: %d rows, err %v", len(rows), err)
+	}
+	zero, err := NewLimit(sortInput(nil), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err = Collect(zero)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("limit 0: %d rows", len(rows))
+	}
+	if _, err := NewLimit(sortInput(nil), -1); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+}

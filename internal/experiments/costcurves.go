@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"abivm/internal/costmodel"
+	"abivm/internal/tpcr"
+)
+
+// Fig1Result holds the cost curves of the Figure 1 example: a two-way
+// join R ⋈ S where R = PartSupp is indexed on the join attribute and
+// S = Supplier is not. c_ΔR (processing PartSupp deltas) is dominated by
+// scanning/building over the unindexed Supplier side — roughly flat in
+// the batch size — while c_ΔS (processing Supplier deltas) probes R's
+// index and grows linearly. The crossover is what makes the asymmetric
+// plan of Section 1 profitable.
+type Fig1Result struct {
+	K              []int
+	CostDeltaR     []float64  // c_ΔR: PartSupp-delta batches
+	CostDeltaS     []float64  // c_ΔS: Supplier-delta batches
+	LinR, LinS     [2]float64 // fitted (a, b) per curve
+	CrossoverBatch int        // first k where c_ΔS exceeds c_ΔR; -1 if none
+}
+
+// Fig1 measures the Figure 1 cost curves.
+func Fig1(cfg Config) (*Fig1Result, error) {
+	m, gen, err := setupView(cfg, tpcr.JoinView, false /* supplier unindexed */, true /* partsupp indexed */)
+	if err != nil {
+		return nil, err
+	}
+	ks := batchSweep(cfg.Quick)
+	ps, s, err := measurePair(m, gen, ks)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{K: ks, CostDeltaR: ps.Cost, CostDeltaS: s.Cost, CrossoverBatch: -1}
+	linR, err := ps.FitLinear()
+	if err != nil {
+		return nil, err
+	}
+	linS, err := s.FitLinear()
+	if err != nil {
+		return nil, err
+	}
+	res.LinR = [2]float64{linR.A, linR.B}
+	res.LinS = [2]float64{linS.A, linS.B}
+	for i := range ks {
+		if res.CostDeltaS[i] > res.CostDeltaR[i] {
+			res.CrossoverBatch = ks[i]
+			break
+		}
+	}
+	return res, nil
+}
+
+// Fig1Table renders Figure 1 as a table.
+func Fig1Table(cfg Config) (*Table, error) {
+	res, err := Fig1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 1: cost functions c_dR and c_dS for R(PartSupp, indexed) JOIN S(Supplier)",
+		Header: []string{"batch k", "c_dR (pseudo-ms)", "c_dS (pseudo-ms)"},
+	}
+	for i, k := range res.K {
+		t.Rows = append(t.Rows, []string{fmt1(k), f2(res.CostDeltaR[i]), f2(res.CostDeltaS[i])})
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: c_dR roughly flat (scan of unindexed S dominates); c_dS linear (probes R's index)",
+		"fit c_dR ~ "+f4(res.LinR[0])+"*k + "+f2(res.LinR[1])+
+			"; c_dS ~ "+f4(res.LinS[0])+"*k + "+f2(res.LinS[1]),
+		"batches larger than the scaled supplier key space saturate c_dS (net deltas collapse)",
+	)
+	if res.CrossoverBatch >= 0 {
+		t.Notes = append(t.Notes, "curves cross near k = "+fmt1(res.CrossoverBatch))
+	}
+	return t, nil
+}
+
+// Fig4Result holds the measured cost functions of the paper's four-way
+// MIN view: both curves follow linear trends, with Supplier updates more
+// expensive because their delta join hits the much larger PartSupp table
+// without an index.
+type Fig4Result struct {
+	K      []int
+	CostPS []float64
+	CostS  []float64
+	LinPS  [2]float64 // fitted (a, b)
+	LinS   [2]float64
+	MeasPS *costmodel.Measurement
+	MeasS  *costmodel.Measurement
+}
+
+// Fig4 measures the Figure 4 cost curves on the paper's view.
+func Fig4(cfg Config) (*Fig4Result, error) {
+	m, gen, err := setupView(cfg, tpcr.PaperView, true /* supplier indexed */, false /* partsupp unindexed */)
+	if err != nil {
+		return nil, err
+	}
+	ks := batchSweep(cfg.Quick)
+	ps, s, err := measurePair(m, gen, ks)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{K: ks, CostPS: ps.Cost, CostS: s.Cost, MeasPS: ps, MeasS: s}
+	linPS, err := ps.FitLinear()
+	if err != nil {
+		return nil, err
+	}
+	linS, err := s.FitLinear()
+	if err != nil {
+		return nil, err
+	}
+	res.LinPS = [2]float64{linPS.A, linPS.B}
+	res.LinS = [2]float64{linS.A, linS.B}
+	return res, nil
+}
+
+// Fig4Table renders Figure 4 as a table.
+func Fig4Table(cfg Config) (*Table, error) {
+	res, err := Fig4(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 4: batch maintenance cost of the TPC-R MIN view (PartSupp vs Supplier updates)",
+		Header: []string{"batch k", "PartSupp batch (pseudo-ms)", "Supplier batch (pseudo-ms)"},
+	}
+	for i, k := range res.K {
+		t.Rows = append(t.Rows, []string{fmt1(k), f2(res.CostPS[i]), f2(res.CostS[i])})
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: both curves approximately linear; Supplier updates cost more (PartSupp join side is large and unindexed)",
+		"fit PartSupp ~ "+f4(res.LinPS[0])+"*k + "+f2(res.LinPS[1])+
+			"; Supplier ~ "+f4(res.LinS[0])+"*k + "+f2(res.LinS[1]),
+		"batches larger than the scaled supplier key space saturate the Supplier curve (net deltas collapse)",
+	)
+	return t, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abivm/internal/arrivals"
+	"abivm/internal/costfn"
+	"abivm/internal/staged"
+)
+
+// StagedResult compares the paper's whole-pipeline action model against
+// operator-level staging (future work, Section 7, third item) on the
+// Supplier maintenance pipeline: stage A is the selective prefix
+// ΔS ⋈ Nation ⋈ Region (steep per tuple, no setup, selectivity 1/5 —
+// one region of five), stage B is the suffix join against the large
+// unindexed PartSupp table (flat, large setup).
+type StagedResult struct {
+	Constraints []float64
+	SingleStage []float64
+	TwoStage    []float64
+	Gain        []float64 // SingleStage / TwoStage
+}
+
+// Staged runs the staged-batching study over a sweep of constraints.
+func Staged(cfg Config) (*StagedResult, error) {
+	fA, err := costfn.NewLinear(0.2, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	fB, err := costfn.NewLinear(0.05, 8)
+	if err != nil {
+		return nil, err
+	}
+	model, err := staged.NewModel(staged.TableCosts{A: fA, B: fB, Selectivity: 0.2})
+	if err != nil {
+		return nil, err
+	}
+	steps := 1000
+	if cfg.Quick {
+		steps = 200
+	}
+	seq := arrivals.UniformSequence(steps, 2)
+	res := &StagedResult{}
+	for _, c := range []float64{10, 12, 16, 24, 40} {
+		single, err := staged.Run(model, staged.NewSingleStage(model, c), seq, c)
+		if err != nil {
+			return nil, err
+		}
+		two, err := staged.Run(model, staged.NewTwoStage(model, c), seq, c)
+		if err != nil {
+			return nil, err
+		}
+		res.Constraints = append(res.Constraints, c)
+		res.SingleStage = append(res.SingleStage, single.TotalCost)
+		res.TwoStage = append(res.TwoStage, two.TotalCost)
+		res.Gain = append(res.Gain, single.TotalCost/two.TotalCost)
+	}
+	return res, nil
+}
+
+// StagedTable renders the study.
+func StagedTable(cfg Config) (*Table, error) {
+	res, err := Staged(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Future-work study: operator-level staged batching (Supplier pipeline)",
+		Header: []string{"C", "single-stage", "two-stage", "gain"},
+	}
+	for i := range res.Constraints {
+		t.Rows = append(t.Rows, []string{
+			f2(res.Constraints[i]), f2(res.SingleStage[i]), f2(res.TwoStage[i]),
+			fmt.Sprintf("%.2fx", res.Gain[i]),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"stage A: delta x Nation x Region (steep, setup-free, selectivity 0.2); stage B: join vs PartSupp (flat, setup 8)",
+		"staging drains the cheap selective prefix eagerly and batches only the expensive suffix",
+	)
+	return t, nil
+}

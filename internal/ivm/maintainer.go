@@ -1,0 +1,586 @@
+package ivm
+
+import (
+	"fmt"
+	"sort"
+
+	"abivm/internal/exec"
+	"abivm/internal/plan"
+	"abivm/internal/sql"
+	"abivm/internal/storage"
+)
+
+// Maintainer incrementally maintains one materialized view. Modifications
+// enter through Apply (which updates the live base tables immediately and
+// enqueues deltas); ProcessBatch drains a prefix of one table's delta
+// queue into the view — the action primitive of the paper's maintenance
+// plans.
+type Maintainer struct {
+	live    *storage.DB
+	replica *storage.DB
+	stats   *storage.Stats // maintenance-side work units (replica DB)
+
+	sel     *sql.Select
+	aliases []string          // FROM order; index i is the paper's table i
+	tables  map[string]string // alias -> table name
+	deltas  map[string][]Mod
+
+	// Aggregate views.
+	isAgg    bool
+	gbCount  int
+	aggKinds []exec.AggKind // per aggregate item, in select order
+	itemRefs []itemRef      // select item -> group col or aggregate index
+	groups   map[string]*groupState
+	deltaSel *sql.Select // join query emitting (group cols..., agg args...)
+
+	// Select-project-join views: multiplicity bag keyed by encoded row.
+	bag map[string]*bagEntry
+}
+
+type bagEntry struct {
+	row   storage.Row
+	count int64
+}
+
+type itemRef struct {
+	groupIdx int // >= 0: group-by column position
+	aggIdx   int // >= 0: aggregate position
+}
+
+// New parses and binds a view definition over the live database, builds
+// view-consistent replica tables, and computes the initial view content.
+func New(live *storage.DB, query string) (*Maintainer, error) {
+	sel, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(sel.OrderBy) > 0 || sel.Limit != nil {
+		return nil, fmt.Errorf("ivm: ORDER BY / LIMIT are not supported in maintained view definitions")
+	}
+	m := &Maintainer{
+		live:   live,
+		sel:    sel,
+		tables: make(map[string]string),
+		deltas: make(map[string][]Mod),
+		groups: make(map[string]*groupState),
+		bag:    make(map[string]*bagEntry),
+	}
+	seenTables := map[string]bool{}
+	for _, tr := range sel.From {
+		if _, dup := m.tables[tr.Alias]; dup {
+			return nil, fmt.Errorf("ivm: duplicate alias %q", tr.Alias)
+		}
+		if seenTables[tr.Table] {
+			return nil, fmt.Errorf("ivm: self-joins are not supported (table %q appears twice)", tr.Table)
+		}
+		seenTables[tr.Table] = true
+		m.tables[tr.Alias] = tr.Table
+		m.aliases = append(m.aliases, tr.Alias)
+	}
+	if err := m.buildReplicas(); err != nil {
+		return nil, err
+	}
+	if err := m.buildDeltaQuery(); err != nil {
+		return nil, err
+	}
+	if err := m.initialize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Aliases returns the FROM aliases in order; index i corresponds to the
+// paper's base table R_i.
+func (m *Maintainer) Aliases() []string { return m.aliases }
+
+// Stats exposes the maintenance-side work-unit counters.
+func (m *Maintainer) Stats() *storage.Stats { return m.stats }
+
+// buildReplicas snapshots every base table (rows and index definitions)
+// into the maintainer's private replica database.
+func (m *Maintainer) buildReplicas() error {
+	m.replica = storage.NewDB()
+	m.stats = m.replica.Stats()
+	for _, alias := range m.aliases {
+		name := m.tables[alias]
+		src, err := m.live.Table(name)
+		if err != nil {
+			return err
+		}
+		dst, err := m.replica.CreateTable(src.Schema())
+		if err != nil {
+			return err
+		}
+		var insertErr error
+		src.Scan(func(r storage.Row) bool {
+			if err := dst.Insert(r); err != nil {
+				insertErr = err
+				return false
+			}
+			return true
+		})
+		if insertErr != nil {
+			return insertErr
+		}
+		for _, ix := range src.Indexes() {
+			cols := make([]string, len(ix.Cols))
+			for i, c := range ix.Cols {
+				cols[i] = src.Schema().Columns[c].Name
+			}
+			if err := dst.CreateIndex(ix.Name, ix.Kind, cols...); err != nil {
+				return err
+			}
+		}
+	}
+	// Snapshotting is setup cost, not maintenance cost: reset counters.
+	*m.stats = storage.Stats{}
+	return nil
+}
+
+// buildDeltaQuery derives the join query used for delta propagation and
+// the select-item mapping for rendering results.
+func (m *Maintainer) buildDeltaQuery() error {
+	if !m.sel.HasAggregates() && len(m.sel.GroupBy) == 0 {
+		// SPJ view: the delta query is the view query itself.
+		m.deltaSel = m.sel
+		return nil
+	}
+	m.isAgg = true
+	m.gbCount = len(m.sel.GroupBy)
+	ds := &sql.Select{From: m.sel.From, Where: m.sel.Where}
+	for _, g := range m.sel.GroupBy {
+		ds.Items = append(ds.Items, sql.SelectItem{Expr: g})
+	}
+	m.itemRefs = make([]itemRef, len(m.sel.Items))
+	for i, item := range m.sel.Items {
+		switch x := item.Expr.(type) {
+		case *sql.AggExpr:
+			arg := x.Arg
+			if arg == nil {
+				if x.Func != sql.AggCount {
+					return fmt.Errorf("ivm: %s requires an argument", x.Func)
+				}
+				arg = &sql.IntLit{V: 1}
+			}
+			kind, err := aggKind(x.Func)
+			if err != nil {
+				return err
+			}
+			m.itemRefs[i] = itemRef{groupIdx: -1, aggIdx: len(m.aggKinds)}
+			m.aggKinds = append(m.aggKinds, kind)
+			ds.Items = append(ds.Items, sql.SelectItem{Expr: arg})
+		case *sql.ColumnRef:
+			pos := -1
+			for gi, g := range m.sel.GroupBy {
+				if g.Column == x.Column && (g.Table == x.Table || g.Table == "" || x.Table == "") {
+					pos = gi
+					break
+				}
+			}
+			if pos < 0 {
+				return fmt.Errorf("ivm: select column %s is not in GROUP BY", x)
+			}
+			m.itemRefs[i] = itemRef{groupIdx: pos, aggIdx: -1}
+		default:
+			return fmt.Errorf("ivm: unsupported select item %s in an aggregate view", item.Expr)
+		}
+	}
+	m.deltaSel = ds
+	return nil
+}
+
+func aggKind(f sql.AggFunc) (exec.AggKind, error) {
+	switch f {
+	case sql.AggMin:
+		return exec.AggMin, nil
+	case sql.AggMax:
+		return exec.AggMax, nil
+	case sql.AggSum:
+		return exec.AggSum, nil
+	case sql.AggCount:
+		return exec.AggCount, nil
+	case sql.AggAvg:
+		return exec.AggAvg, nil
+	}
+	return 0, fmt.Errorf("ivm: unknown aggregate %q", f)
+}
+
+// initialize computes the initial view content by running the delta query
+// over the full replicas (an "insert everything" delta), charged as setup
+// rather than maintenance.
+func (m *Maintainer) initialize() error {
+	op, err := plan.Compile(m.deltaSel, nil, &plan.Options{
+		Resolve: m.replica.Table,
+		Stats:   m.stats,
+	})
+	if err != nil {
+		return err
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return err
+	}
+	m.addRows(rows)
+	*m.stats = storage.Stats{} // initial computation is setup cost
+	return nil
+}
+
+// Apply applies modifications to the live base tables immediately and
+// appends them to the per-table delta queues for later batch processing,
+// matching the paper's execution model.
+func (m *Maintainer) Apply(mods ...Mod) error {
+	for _, mod := range mods {
+		name, ok := m.tables[mod.Alias]
+		if !ok {
+			return fmt.Errorf("ivm: unknown alias %q", mod.Alias)
+		}
+		tbl, err := m.live.Table(name)
+		if err != nil {
+			return err
+		}
+		switch mod.Kind {
+		case ModInsert:
+			if err := tbl.Insert(mod.Row); err != nil {
+				return err
+			}
+		case ModDelete:
+			if _, err := tbl.Delete(mod.Key...); err != nil {
+				return err
+			}
+		case ModUpdate:
+			newKey := tbl.Schema().KeyOf(mod.Row)
+			if newKey != storage.EncodeKey(mod.Key...) {
+				return fmt.Errorf("ivm: update must not change the primary key (alias %q)", mod.Alias)
+			}
+			if _, err := tbl.Update(mod.Key, mod.Row); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("ivm: unknown modification kind %d", mod.Kind)
+		}
+		m.deltas[mod.Alias] = append(m.deltas[mod.Alias], mod)
+	}
+	return nil
+}
+
+// ApplyDeferred enqueues modifications for deferred view maintenance
+// WITHOUT applying them to the live base tables. It exists for brokers
+// that multiplex one shared live database across several maintainers:
+// exactly one maintainer applies the live change (Apply) and the others
+// only observe it (ApplyDeferred). The caller is responsible for the
+// modifications actually being applied to the live tables by someone;
+// the replicas stay consistent either way because they are private.
+func (m *Maintainer) ApplyDeferred(mods ...Mod) error {
+	for _, mod := range mods {
+		if _, ok := m.tables[mod.Alias]; !ok {
+			return fmt.Errorf("ivm: unknown alias %q", mod.Alias)
+		}
+		m.deltas[mod.Alias] = append(m.deltas[mod.Alias], mod)
+	}
+	return nil
+}
+
+// TableOf returns the base-table name behind a FROM alias, or "" when
+// the alias is unknown.
+func (m *Maintainer) TableOf(alias string) string { return m.tables[alias] }
+
+// Pending returns the per-table delta queue sizes in alias order — the
+// paper's state vector s.
+func (m *Maintainer) Pending() []int {
+	out := make([]int, len(m.aliases))
+	for i, a := range m.aliases {
+		out[i] = len(m.deltas[a])
+	}
+	return out
+}
+
+// ProcessBatch drains the earliest k modifications of the alias's delta
+// queue into the view. It is the action primitive: the cost it charges to
+// Stats is the paper's f_i(k).
+func (m *Maintainer) ProcessBatch(alias string, k int) error {
+	queue, ok := m.deltas[alias]
+	if !ok {
+		if _, known := m.tables[alias]; !known {
+			return fmt.Errorf("ivm: unknown alias %q", alias)
+		}
+	}
+	if k < 0 || k > len(queue) {
+		return fmt.Errorf("ivm: batch size %d out of range (queue %d)", k, len(queue))
+	}
+	if k == 0 {
+		return nil
+	}
+	batch := queue[:k]
+	m.stats.BatchSetups++
+
+	repl := m.replica.MustTable(m.tables[alias])
+	delRows, insRows, err := m.netDelta(repl, batch)
+	if err != nil {
+		return err
+	}
+	minus, err := m.deltaJoin(alias, repl, delRows)
+	if err != nil {
+		return err
+	}
+	plus, err := m.deltaJoin(alias, repl, insRows)
+	if err != nil {
+		return err
+	}
+	m.removeRows(minus)
+	m.addRows(plus)
+
+	// Bring replica i up to the post-batch state.
+	for _, r := range delRows {
+		if _, err := repl.Delete(r.Project(repl.Schema().Key)...); err != nil {
+			return fmt.Errorf("ivm: replica delete: %w", err)
+		}
+	}
+	for _, r := range insRows {
+		if err := repl.Insert(r); err != nil {
+			return fmt.Errorf("ivm: replica insert: %w", err)
+		}
+	}
+	m.deltas[alias] = queue[k:]
+	return nil
+}
+
+// netDelta replays a batch against the replica state and collapses it to
+// per-key net (delete, insert) row sets.
+func (m *Maintainer) netDelta(repl *storage.Table, batch []Mod) (delRows, insRows []storage.Row, err error) {
+	type keyState struct {
+		initial storage.Row // replica row at batch start; nil if absent
+		final   storage.Row // row after replaying the batch; nil if absent
+	}
+	states := map[string]*keyState{}
+	order := []string{} // first-touch order, for deterministic output
+	lookup := func(keyVals []storage.Value) *keyState {
+		k := storage.EncodeKey(keyVals...)
+		st, ok := states[k]
+		if !ok {
+			st = &keyState{}
+			if row, found := repl.Get(keyVals...); found {
+				st.initial = row
+				st.final = row
+			}
+			states[k] = st
+			order = append(order, k)
+		}
+		return st
+	}
+	for _, mod := range batch {
+		switch mod.Kind {
+		case ModInsert:
+			st := lookup(mod.Row.Project(repl.Schema().Key))
+			if st.final != nil {
+				return nil, nil, fmt.Errorf("ivm: replay insert over existing key %v", mod.Row)
+			}
+			st.final = mod.Row
+		case ModDelete:
+			st := lookup(mod.Key)
+			if st.final == nil {
+				return nil, nil, fmt.Errorf("ivm: replay delete of missing key %v", mod.Key)
+			}
+			st.final = nil
+		case ModUpdate:
+			st := lookup(mod.Key)
+			if st.final == nil {
+				return nil, nil, fmt.Errorf("ivm: replay update of missing key %v", mod.Key)
+			}
+			st.final = mod.Row
+		}
+	}
+	for _, k := range order {
+		st := states[k]
+		if st.initial == nil && st.final == nil {
+			continue
+		}
+		if st.initial != nil && st.final != nil && rowsEqual(st.initial, st.final) {
+			continue
+		}
+		if st.initial != nil {
+			delRows = append(delRows, st.initial)
+		}
+		if st.final != nil {
+			insRows = append(insRows, st.final)
+		}
+	}
+	return delRows, insRows, nil
+}
+
+func rowsEqual(a, b storage.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !storage.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// deltaJoin runs the delta query with the alias's table replaced by the
+// given rows, joining them against the view-consistent replicas.
+func (m *Maintainer) deltaJoin(alias string, repl *storage.Table, rows []storage.Row) ([]storage.Row, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	schema := repl.Schema()
+	cols := make([]exec.Col, len(schema.Columns))
+	for i, c := range schema.Columns {
+		cols[i] = exec.Col{Table: alias, Name: c.Name, Type: c.Type}
+	}
+	src := exec.NewRowsSource(cols, rows, m.stats)
+	op, err := plan.Compile(m.deltaSel, nil, &plan.Options{
+		Sources: map[string]exec.Op{alias: src},
+		Resolve: m.replica.Table,
+		Stats:   m.stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(op)
+}
+
+// addRows folds delta rows (group cols + agg args, or plain view rows)
+// into the view state.
+func (m *Maintainer) addRows(rows []storage.Row) {
+	for _, r := range rows {
+		m.stats.RowsMaterial++
+		if !m.isAgg {
+			key := storage.EncodeKey(r...)
+			e, ok := m.bag[key]
+			if !ok {
+				e = &bagEntry{row: r}
+				m.bag[key] = e
+			}
+			e.count++
+			continue
+		}
+		key := storage.EncodeKey(r[:m.gbCount]...)
+		g, ok := m.groups[key]
+		if !ok {
+			g = &groupState{keyVals: r[:m.gbCount].Clone(), aggs: make([]aggState, len(m.aggKinds))}
+			for i, kind := range m.aggKinds {
+				g.aggs[i] = newAggState(kind)
+			}
+			m.groups[key] = g
+		}
+		g.count++
+		for i := range g.aggs {
+			g.aggs[i].add(r[m.gbCount+i], m.stats)
+		}
+	}
+}
+
+// removeRows retracts delta rows from the view state.
+func (m *Maintainer) removeRows(rows []storage.Row) {
+	for _, r := range rows {
+		m.stats.RowsMaterial++
+		if !m.isAgg {
+			key := storage.EncodeKey(r...)
+			e, ok := m.bag[key]
+			if !ok || e.count <= 0 {
+				panic("ivm: retracting a row absent from the view bag")
+			}
+			e.count--
+			if e.count == 0 {
+				delete(m.bag, key)
+			}
+			continue
+		}
+		key := storage.EncodeKey(r[:m.gbCount]...)
+		g, ok := m.groups[key]
+		if !ok {
+			panic("ivm: retracting from a missing group")
+		}
+		g.count--
+		for i := range g.aggs {
+			g.aggs[i].remove(r[m.gbCount+i], m.stats)
+		}
+		if g.count == 0 {
+			delete(m.groups, key)
+		} else if g.count < 0 {
+			panic("ivm: negative group count")
+		}
+	}
+}
+
+// Refresh processes every pending delta, one full batch per table in
+// alias order, bringing the view fully up to date.
+func (m *Maintainer) Refresh() error {
+	for _, alias := range m.aliases {
+		if n := len(m.deltas[alias]); n > 0 {
+			if err := m.ProcessBatch(alias, n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Result renders the current view content in the SELECT-item order, rows
+// sorted by group key (aggregate views) or encoded row (SPJ views, with
+// multiplicities expanded). The layout matches what executing the view
+// query through the planner produces, enabling direct comparison.
+func (m *Maintainer) Result() []storage.Row {
+	if m.isAgg {
+		keys := make([]string, 0, len(m.groups))
+		for k := range m.groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]storage.Row, 0, len(keys))
+		for _, k := range keys {
+			g := m.groups[k]
+			row := make(storage.Row, len(m.itemRefs))
+			for i, ref := range m.itemRefs {
+				if ref.aggIdx >= 0 {
+					row[i] = g.aggs[ref.aggIdx].result(g.count)
+				} else {
+					row[i] = g.keyVals[ref.groupIdx]
+				}
+			}
+			out = append(out, row)
+		}
+		// Grand aggregate over an empty state: one row of empty aggregate
+		// values, mirroring exec.HashAgg.
+		if len(out) == 0 && m.gbCount == 0 {
+			row := make(storage.Row, len(m.itemRefs))
+			for i, ref := range m.itemRefs {
+				empty := newAggState(m.aggKinds[ref.aggIdx])
+				row[i] = empty.result(0)
+			}
+			out = append(out, row)
+		}
+		return out
+	}
+	keys := make([]string, 0, len(m.bag))
+	for k := range m.bag {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []storage.Row
+	for _, k := range keys {
+		e := m.bag[k]
+		for i := int64(0); i < e.count; i++ {
+			out = append(out, e.row)
+		}
+	}
+	return out
+}
+
+// RecomputeFresh evaluates the view query from scratch against the live
+// base tables (the ground truth after all pending modifications). The
+// work is charged to a throwaway counter, not to maintenance cost.
+func (m *Maintainer) RecomputeFresh() ([]storage.Row, error) {
+	var scratch storage.Stats
+	op, err := plan.Compile(m.sel, nil, &plan.Options{
+		Resolve: m.live.Table,
+		Stats:   &scratch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(op)
+}

@@ -1,0 +1,80 @@
+// Package ivm implements batch incremental view maintenance over the
+// relational engine: materialized aggregate and select-project-join views
+// whose content can be brought up to date by processing batches of base
+// table modifications, one table at a time — the asymmetric processing
+// model of the paper.
+//
+// # State-bug avoidance
+//
+// Modifications are applied to the live base tables immediately, but the
+// view must be maintained against the state it currently reflects, not
+// the (newer) live state — using the post-update base state in a
+// maintenance join is the classic "state bug" (Colby et al., SIGMOD 96).
+// The Maintainer therefore keeps a view-consistent replica of every base
+// table. A delta batch from table i is joined against the replicas (the
+// exact state the view reflects) and only then applied to replica i. The
+// live tables are never consulted during maintenance.
+//
+// # Aggregates under deletion
+//
+// MIN and MAX are not incrementally maintainable from the aggregate value
+// alone: deleting the current minimum forces a recompute. The Maintainer
+// keeps a B-tree multiset of contributing values per group, so deletions
+// are O(log n) and never touch the base data — the auxiliary-structure
+// remedy the paper alludes to.
+package ivm
+
+import (
+	"fmt"
+
+	"abivm/internal/storage"
+)
+
+// ModKind enumerates modification kinds.
+type ModKind uint8
+
+// Modification kinds.
+const (
+	ModInsert ModKind = iota
+	ModDelete
+	ModUpdate
+)
+
+// String names the kind.
+func (k ModKind) String() string {
+	switch k {
+	case ModInsert:
+		return "INSERT"
+	case ModDelete:
+		return "DELETE"
+	case ModUpdate:
+		return "UPDATE"
+	}
+	return fmt.Sprintf("ModKind(%d)", uint8(k))
+}
+
+// Mod is one base-table modification addressed to a FROM alias of the
+// view.
+type Mod struct {
+	Kind  ModKind
+	Alias string
+	// Row is the full new row for inserts and updates.
+	Row storage.Row
+	// Key holds the primary-key values for deletes and updates.
+	Key []storage.Value
+}
+
+// Insert builds an insert modification.
+func Insert(alias string, row storage.Row) Mod {
+	return Mod{Kind: ModInsert, Alias: alias, Row: row}
+}
+
+// Delete builds a delete modification.
+func Delete(alias string, key ...storage.Value) Mod {
+	return Mod{Kind: ModDelete, Alias: alias, Key: key}
+}
+
+// Update builds an update modification replacing the row at key with row.
+func Update(alias string, key []storage.Value, row storage.Row) Mod {
+	return Mod{Kind: ModUpdate, Alias: alias, Key: key, Row: row}
+}

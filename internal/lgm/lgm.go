@@ -1,0 +1,99 @@
+// Package lgm implements the plan transformations of Section 3 of the
+// paper: MakeLazyPlan (Lemma 1) converts any valid plan into a lazy plan
+// of no greater cost, and MakeLGMPlan (Lemma 2 / Theorem 1) converts any
+// valid plan into a valid LGM (lazy, greedy, minimal) plan whose cost is
+// at most twice the original; under linear cost functions the result is
+// as cheap as the original up to per-table action counts (Theorem 2).
+package lgm
+
+import "abivm/internal/core"
+
+// MakeLazyPlan constructs a lazy plan from valid plan p per the paper's
+// MAKELAZYPLAN procedure: actions of p are accumulated and only released
+// when the pre-action state under the new plan becomes full (or at T).
+// Subadditivity guarantees the released combined action costs no more
+// than the sum of the accumulated originals, so f(Q) <= f(P).
+func MakeLazyPlan(in *core.Instance, p core.Plan) core.Plan {
+	n := in.N()
+	tEnd := in.T()
+	q := make(core.Plan, tEnd+1)
+	pending := core.NewVector(n) // accumulated, not-yet-released actions of p
+	state := core.NewVector(n)   // pre/post-action state under the new plan
+	for t := 0; t <= tEnd; t++ {
+		state.AddInPlace(in.Arrivals[t])
+		if t < len(p) && p[t] != nil {
+			pending.AddInPlace(p[t])
+		}
+		if t == tEnd || in.Model.Full(state, in.C) {
+			q[t] = pending.Clone()
+			state.SubInPlace(q[t])
+			pending = core.NewVector(n)
+		} else {
+			q[t] = core.NewVector(n)
+		}
+	}
+	return q
+}
+
+// MakeLGMPlan constructs a valid LGM plan from valid plan p per the
+// paper's MAKELGMPLAN procedure. When the state under the new plan Q
+// becomes full at t, Q empties exactly the delta tables whose Q-side
+// backlog strictly exceeds the post-action backlog of p at t, and then
+// minimizes that action. Theorem 1: f(Q) <= 2 f(P); Theorem 2: under
+// linear costs, per-table action counts satisfy |Q(i)| <= |P(i)|.
+func MakeLGMPlan(in *core.Instance, p core.Plan) core.Plan {
+	n := in.N()
+	tEnd := in.T()
+	q := make(core.Plan, tEnd+1)
+
+	// Track p's post-action state alongside q's state.
+	pState := core.NewVector(n)
+	qState := core.NewVector(n)
+	for t := 0; t <= tEnd; t++ {
+		pState.AddInPlace(in.Arrivals[t])
+		qState.AddInPlace(in.Arrivals[t])
+		if t < len(p) && p[t] != nil {
+			pState.SubInPlace(p[t])
+		}
+		if t == tEnd {
+			// q_T drains everything (refresh).
+			q[t] = qState.Clone()
+			qState = core.NewVector(n)
+			continue
+		}
+		if !in.Model.Full(qState, in.C) {
+			q[t] = core.NewVector(n)
+			continue
+		}
+		// Action forced: empty tables whose Q backlog exceeds P's
+		// post-action backlog, then minimize.
+		tentative := core.NewVector(n)
+		for i := 0; i < n; i++ {
+			if qState[i] > pState[i] {
+				tentative[i] = qState[i]
+			}
+		}
+		q[t] = core.MinimizeAction(tentative, qState, in.Model, in.C)
+		qState.SubInPlace(q[t])
+	}
+	return q
+}
+
+// ActionCount returns |P(i)| for each table i: the number of time steps at
+// which plan p processes a non-zero batch from table i. Under linear cost
+// functions Σ_i b_i |P(i)| is the only plan-dependent cost component, so
+// this is the quantity Theorem 2 and Theorem 4 reason about.
+func ActionCount(p core.Plan, n int) []int {
+	counts := make([]int, n)
+	for _, act := range p {
+		if act == nil {
+			continue
+		}
+		for i, k := range act {
+			if k > 0 {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}

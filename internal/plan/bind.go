@@ -1,0 +1,153 @@
+// Package plan compiles parsed SELECT queries into executable operator
+// trees: it binds column references against operator schemas, classifies
+// WHERE conjuncts into join and filter predicates, orders joins left-deep
+// preferring index-nested-loop joins where a matching index exists, and
+// places hash aggregation on top. The IVM engine reuses the same planner
+// with one base table replaced by a delta-batch source, which is exactly
+// how the paper's maintenance queries are shaped.
+package plan
+
+import (
+	"fmt"
+
+	"abivm/internal/exec"
+	"abivm/internal/sql"
+	"abivm/internal/storage"
+)
+
+// bindScalar compiles a scalar expression against an input schema.
+// Aggregates are rejected; the aggregate path handles them separately.
+func bindScalar(e sql.Expr, cols []exec.Col) (exec.Scalar, storage.Type, error) {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		idx := exec.FindCol(cols, x.Table, x.Column)
+		switch idx {
+		case -1:
+			return nil, 0, fmt.Errorf("plan: unknown column %s", x)
+		case -2:
+			return nil, 0, fmt.Errorf("plan: ambiguous column %s", x)
+		}
+		typ := cols[idx].Type
+		return func(r storage.Row) storage.Value { return r[idx] }, typ, nil
+	case *sql.IntLit:
+		v := storage.I(x.V)
+		return func(storage.Row) storage.Value { return v }, storage.TInt, nil
+	case *sql.FloatLit:
+		v := storage.F(x.V)
+		return func(storage.Row) storage.Value { return v }, storage.TFloat, nil
+	case *sql.StringLit:
+		v := storage.S(x.V)
+		return func(storage.Row) storage.Value { return v }, storage.TString, nil
+	case *sql.BinaryExpr:
+		switch x.Op {
+		case "+", "-", "*", "/":
+			return bindArith(x, cols)
+		}
+		return nil, 0, fmt.Errorf("plan: comparison %q used as a scalar", x.Op)
+	case *sql.AggExpr:
+		return nil, 0, fmt.Errorf("plan: aggregate %s outside an aggregation context", x)
+	}
+	return nil, 0, fmt.Errorf("plan: unsupported expression %T", e)
+}
+
+func bindArith(x *sql.BinaryExpr, cols []exec.Col) (exec.Scalar, storage.Type, error) {
+	left, lt, err := bindScalar(x.Left, cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	right, rt, err := bindScalar(x.Right, cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	if lt == storage.TString || rt == storage.TString {
+		return nil, 0, fmt.Errorf("plan: arithmetic on string operands in %s", x)
+	}
+	intResult := lt == storage.TInt && rt == storage.TInt && x.Op != "/"
+	op := x.Op
+	if intResult {
+		return func(r storage.Row) storage.Value {
+			a, b := left(r).Int(), right(r).Int()
+			switch op {
+			case "+":
+				return storage.I(a + b)
+			case "-":
+				return storage.I(a - b)
+			default: // "*"
+				return storage.I(a * b)
+			}
+		}, storage.TInt, nil
+	}
+	return func(r storage.Row) storage.Value {
+		a, b := left(r).Float(), right(r).Float()
+		switch op {
+		case "+":
+			return storage.F(a + b)
+		case "-":
+			return storage.F(a - b)
+		case "*":
+			return storage.F(a * b)
+		default: // "/"
+			return storage.F(a / b)
+		}
+	}, storage.TFloat, nil
+}
+
+// bindPredicate compiles a comparison conjunct into a Predicate.
+func bindPredicate(e sql.Expr, cols []exec.Col) (exec.Predicate, error) {
+	b, ok := e.(*sql.BinaryExpr)
+	if !ok {
+		return nil, fmt.Errorf("plan: WHERE conjunct %s is not a comparison", e)
+	}
+	switch b.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("plan: WHERE conjunct %s is not a comparison", e)
+	}
+	left, _, err := bindScalar(b.Left, cols)
+	if err != nil {
+		return nil, err
+	}
+	right, _, err := bindScalar(b.Right, cols)
+	if err != nil {
+		return nil, err
+	}
+	op := b.Op
+	return func(r storage.Row) bool {
+		c := storage.Compare(left(r), right(r))
+		switch op {
+		case "=":
+			return c == 0
+		case "<>":
+			return c != 0
+		case "<":
+			return c < 0
+		case "<=":
+			return c <= 0
+		case ">":
+			return c > 0
+		default: // ">="
+			return c >= 0
+		}
+	}, nil
+}
+
+// exprTables collects the table aliases referenced by an expression.
+// Unqualified references resolve through the alias→columns map; ambiguous
+// or unknown references surface as errors at bind time instead.
+func exprTables(e sql.Expr, out map[string]bool, resolve func(col string) string) {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		if x.Table != "" {
+			out[x.Table] = true
+		} else if owner := resolve(x.Column); owner != "" {
+			out[owner] = true
+		}
+	case *sql.BinaryExpr:
+		exprTables(x.Left, out, resolve)
+		exprTables(x.Right, out, resolve)
+	case *sql.AggExpr:
+		if x.Arg != nil {
+			exprTables(x.Arg, out, resolve)
+		}
+	}
+}

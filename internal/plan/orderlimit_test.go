@@ -1,0 +1,126 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"abivm/internal/sql"
+	"abivm/internal/storage"
+)
+
+func TestOrderByAscending(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, "SELECT partkey, supplycost FROM partsupp ORDER BY supplycost", nil)
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if storage.Compare(rows[i-1][1], rows[i][1]) > 0 {
+			t.Fatalf("not ascending at %d: %v", i, rows)
+		}
+	}
+}
+
+func TestOrderByDescendingWithLimit(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, "SELECT partkey, supplycost FROM partsupp ORDER BY supplycost DESC LIMIT 3", nil)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Costs are 100+i for partkey i in 0..11 -> top three are 111,110,109.
+	want := []float64{111, 110, 109}
+	for i, w := range want {
+		if rows[i][1].Float() != w {
+			t.Fatalf("row %d = %v, want cost %g", i, rows[i], w)
+		}
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, "SELECT supplycost * 2 AS double FROM partsupp ORDER BY double DESC LIMIT 1", nil)
+	if len(rows) != 1 || rows[0][0].Float() != 222 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestOrderByOnAggregateOutput(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, `SELECT n.regionkey, COUNT(*) AS cnt
+		FROM partsupp AS ps, supplier AS s, nation AS n
+		WHERE s.suppkey = ps.suppkey AND s.nationkey = n.nationkey
+		GROUP BY n.regionkey ORDER BY cnt DESC`, nil)
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	if rows[0][1].Int() < rows[1][1].Int() {
+		t.Fatalf("not descending by count: %v", rows)
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, "SELECT suppkey, partkey FROM partsupp ORDER BY suppkey, partkey DESC", nil)
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if a[0].Int() > b[0].Int() {
+			t.Fatalf("primary key not ascending at %d", i)
+		}
+		if a[0].Int() == b[0].Int() && a[1].Int() < b[1].Int() {
+			t.Fatalf("secondary key not descending at %d", i)
+		}
+	}
+}
+
+func TestLimitZeroAndOversized(t *testing.T) {
+	db := testDB(t)
+	if rows := run(t, db, "SELECT partkey FROM partsupp LIMIT 0", nil); len(rows) != 0 {
+		t.Fatalf("LIMIT 0 returned %d rows", len(rows))
+	}
+	if rows := run(t, db, "SELECT partkey FROM partsupp LIMIT 9999", nil); len(rows) != 12 {
+		t.Fatalf("oversized limit returned %d rows", len(rows))
+	}
+}
+
+func TestLimitWithoutOrder(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, "SELECT partkey FROM partsupp LIMIT 5", nil)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestOrderLimitExplain(t *testing.T) {
+	db := testDB(t)
+	sel, err := sql.Parse("SELECT partkey FROM partsupp ORDER BY partkey DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := Compile(sel, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Explain(op)
+	for _, want := range []string{"Limit 2", "Sort by partkey DESC", "SeqScan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	db := testDB(t)
+	cases := []struct{ query, sub string }{
+		{"SELECT partkey FROM partsupp ORDER BY supplycost", "not in the select output"},
+		{"SELECT partkey FROM partsupp ORDER BY nope", "not in the select output"},
+	}
+	for _, c := range cases {
+		sel, err := sql.Parse(c.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Compile(sel, db, nil); err == nil || !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Compile(%q) err = %v, want %q", c.query, err, c.sub)
+		}
+	}
+}

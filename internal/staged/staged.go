@@ -1,0 +1,161 @@
+// Package staged explores the paper's third future-work direction
+// (Section 7): asymmetry *within* a single table's maintenance query.
+// "In the query plan representing a maintenance query, different
+// operators may be more or less amenable to batch processing.
+// Propagating modifications through some operators while batching them
+// in front of others may lead to further savings."
+//
+// The model factors each table's maintenance pipeline into two stages:
+//
+//   - Stage A — the cheap prefix: joining the delta against small
+//     dimension tables and applying selections. It has cost fA(k) and
+//     selectivity σ ∈ (0, 1]: of k input modifications, about σ·k
+//     survive into the expensive remainder.
+//   - Stage B — the expensive suffix: joining the survivors against the
+//     large table and folding them into the view, with cost fB(k).
+//
+// The per-table state is a pair (u, g): u unprocessed modifications
+// waiting in front of stage A and g staged survivors waiting in front of
+// stage B. A refresh must push everything through both stages, so the
+// refresh cost of one table is fA(u) + fB(round(σ·u) + g), and the
+// response-time constraint sums this over tables. The scheduling
+// opportunity: when fA is steep-but-setup-free and σ is small, eagerly
+// draining stage A is nearly free and shrinks the population that the
+// expensive, batch-friendly stage B must eventually absorb — a second
+// layer of exactly the asymmetry the paper exploits across tables.
+//
+// The package provides the two-stage state model, a single-stage
+// scheduler (the paper's model: each action runs a table's full
+// pipeline), and a two-stage scheduler that may run stage A alone; the
+// experiment in internal/experiments compares them.
+package staged
+
+import (
+	"fmt"
+	"math"
+
+	"abivm/internal/core"
+)
+
+// TableCosts describes one table's two-stage pipeline.
+type TableCosts struct {
+	A core.CostFunc // cheap prefix
+	B core.CostFunc // expensive suffix
+	// Selectivity is the fraction of stage-A input surviving into stage
+	// B, in (0, 1].
+	Selectivity float64
+}
+
+// Model is the two-stage cost model of an instance.
+type Model struct {
+	tables []TableCosts
+}
+
+// NewModel validates the per-table stage costs.
+func NewModel(tables ...TableCosts) (*Model, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("staged: need at least one table")
+	}
+	for i, tc := range tables {
+		if tc.A == nil || tc.B == nil {
+			return nil, fmt.Errorf("staged: table %d missing a stage cost function", i)
+		}
+		if tc.Selectivity <= 0 || tc.Selectivity > 1 {
+			return nil, fmt.Errorf("staged: table %d selectivity %g outside (0,1]", i, tc.Selectivity)
+		}
+	}
+	return &Model{tables: tables}, nil
+}
+
+// N returns the number of tables.
+func (m *Model) N() int { return len(m.tables) }
+
+// survivors returns round(σ·k) for table i, at least 1 for k > 0 (a
+// non-empty batch always carries at least one survivor so costs never
+// vanish entirely).
+func (m *Model) survivors(i, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	s := int(math.Round(m.tables[i].Selectivity * float64(k)))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// State is the two-stage backlog: U[i] modifications in front of stage A
+// and G[i] staged survivors in front of stage B.
+type State struct {
+	U core.Vector
+	G core.Vector
+}
+
+// NewState returns an empty state for n tables.
+func NewState(n int) State {
+	return State{U: core.NewVector(n), G: core.NewVector(n)}
+}
+
+// Clone copies the state.
+func (s State) Clone() State { return State{U: s.U.Clone(), G: s.G.Clone()} }
+
+// RefreshCost is the cost of pushing the whole backlog through both
+// stages: Σ_i fA(u_i) + fB(survivors(u_i) + g_i).
+func (m *Model) RefreshCost(s State) float64 {
+	total := 0.0
+	for i, tc := range m.tables {
+		if s.U[i] > 0 {
+			total += tc.A.Cost(s.U[i])
+		}
+		if b := m.survivors(i, s.U[i]) + s.G[i]; b > 0 {
+			total += tc.B.Cost(b)
+		}
+	}
+	return total
+}
+
+// Full reports whether the refresh cost exceeds the constraint.
+func (m *Model) Full(s State, c float64) bool { return m.RefreshCost(s) > c }
+
+// Action describes one maintenance step: StageA[i] modifications are
+// pushed through stage A (their survivors land in G), and StageB[i]
+// staged survivors are pushed through stage B. StageB is applied after
+// StageA within the action, so it may include this action's survivors.
+type Action struct {
+	StageA core.Vector
+	StageB core.Vector
+}
+
+// IsZero reports whether the action does nothing.
+func (a Action) IsZero() bool { return a.StageA.IsZero() && a.StageB.IsZero() }
+
+// Cost returns the processing cost of the action.
+func (m *Model) Cost(a Action) float64 {
+	total := 0.0
+	for i, tc := range m.tables {
+		if a.StageA[i] > 0 {
+			total += tc.A.Cost(a.StageA[i])
+		}
+		if a.StageB[i] > 0 {
+			total += tc.B.Cost(a.StageB[i])
+		}
+	}
+	return total
+}
+
+// Apply advances the state by an action; it returns an error when the
+// action drains more than is available.
+func (m *Model) Apply(s *State, a Action) error {
+	for i := range m.tables {
+		if a.StageA[i] < 0 || a.StageA[i] > s.U[i] {
+			return fmt.Errorf("staged: stage-A action %d exceeds backlog %d (table %d)", a.StageA[i], s.U[i], i)
+		}
+		s.U[i] -= a.StageA[i]
+		s.G[i] += m.survivors(i, a.StageA[i])
+		if a.StageB[i] < 0 || a.StageB[i] > s.G[i] {
+			return fmt.Errorf("staged: stage-B action %d exceeds staged %d (table %d)", a.StageB[i], s.G[i], i)
+		}
+		s.G[i] -= a.StageB[i]
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package staged
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"abivm/internal/arrivals"
+	"abivm/internal/core"
+	"abivm/internal/costfn"
+)
+
+// mkModel builds the canonical two-stage instance: one table whose
+// stage A is steep but setup-free with selectivity 0.2 (the ΔS ⋈ Nation
+// ⋈ Region prefix) and whose stage B is flat with a big setup (the hash
+// join against PartSupp).
+func mkModel(t *testing.T) *Model {
+	t.Helper()
+	fA, err := costfn.NewLinear(0.2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fB, err := costfn.NewLinear(0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(TableCosts{A: fA, B: fB, Selectivity: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	fA, _ := costfn.NewLinear(1, 0)
+	if _, err := NewModel(); err == nil {
+		t.Error("empty model accepted")
+	}
+	if _, err := NewModel(TableCosts{A: fA, B: nil, Selectivity: 0.5}); err == nil {
+		t.Error("missing stage accepted")
+	}
+	for _, sigma := range []float64{0, -0.5, 1.5} {
+		if _, err := NewModel(TableCosts{A: fA, B: fA, Selectivity: sigma}); err == nil {
+			t.Errorf("selectivity %g accepted", sigma)
+		}
+	}
+}
+
+func TestRefreshCostAndSurvivors(t *testing.T) {
+	m := mkModel(t)
+	s := NewState(1)
+	if got := m.RefreshCost(s); got != 0 {
+		t.Fatalf("empty refresh = %g", got)
+	}
+	s.U[0] = 10
+	// fA(10) = 2.01; survivors = 2; fB(2) = 8.1.
+	want := 2.01 + 8.1
+	if got := m.RefreshCost(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("refresh = %g, want %g", got, want)
+	}
+	s.G[0] = 3
+	want = 2.01 + 8 + 0.05*5
+	if got := m.RefreshCost(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("refresh with staged = %g, want %g", got, want)
+	}
+	// Tiny batches still leave at least one survivor.
+	if got := m.survivors(0, 1); got != 1 {
+		t.Fatalf("survivors(1) = %d", got)
+	}
+}
+
+func TestApplyMovesBetweenStages(t *testing.T) {
+	m := mkModel(t)
+	s := NewState(1)
+	s.U[0] = 10
+	act := Action{StageA: core.Vector{10}, StageB: core.Vector{2}}
+	if err := m.Apply(&s, act); err != nil {
+		t.Fatal(err)
+	}
+	if s.U[0] != 0 || s.G[0] != 0 {
+		t.Fatalf("state after apply = %v/%v", s.U, s.G)
+	}
+	// Overdrain is rejected.
+	s.U[0] = 1
+	if err := m.Apply(&s, Action{StageA: core.Vector{5}, StageB: core.Vector{0}}); err == nil {
+		t.Fatal("stage-A overdrain accepted")
+	}
+	if err := m.Apply(&s, Action{StageA: core.Vector{0}, StageB: core.Vector{5}}); err == nil {
+		t.Fatal("stage-B overdrain accepted")
+	}
+}
+
+func TestSchedulersProduceValidRuns(t *testing.T) {
+	m := mkModel(t)
+	c := 12.0
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		steps := 50 + rng.Intn(200)
+		seq := make(core.Arrivals, steps)
+		for ti := range seq {
+			seq[ti] = core.Vector{rng.Intn(4)}
+		}
+		for _, sched := range []Scheduler{NewSingleStage(m, c), NewTwoStage(m, c)} {
+			res, err := Run(m, sched, seq, c)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, sched.Name(), err)
+			}
+			if res.MaxRefresh > c {
+				t.Fatalf("trial %d %s: max refresh %g > C", trial, sched.Name(), res.MaxRefresh)
+			}
+		}
+	}
+}
+
+func TestTwoStageBeatsSingleStage(t *testing.T) {
+	// The future-work claim: with a selective, setup-free prefix and an
+	// expensive suffix, staging beats the full-pipeline-only model.
+	m := mkModel(t)
+	c := 12.0
+	seq := arrivals.UniformSequence(800, 2)
+	single, err := Run(m, NewSingleStage(m, c), seq, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run(m, NewTwoStage(m, c), seq, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.TotalCost >= single.TotalCost {
+		t.Fatalf("TWO-STAGE %g did not beat SINGLE-STAGE %g", two.TotalCost, single.TotalCost)
+	}
+}
+
+func TestTwoStageMultiTable(t *testing.T) {
+	fA1, _ := costfn.NewLinear(0.2, 0.01)
+	fB1, _ := costfn.NewLinear(0.05, 8)
+	fA2, _ := costfn.NewLinear(0.05, 1)
+	fB2, _ := costfn.NewLinear(0.02, 3)
+	m, err := NewModel(
+		TableCosts{A: fA1, B: fB1, Selectivity: 0.2},
+		TableCosts{A: fA2, B: fB2, Selectivity: 0.9},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := 20.0
+	seq := arrivals.UniformSequence(400, 1, 1)
+	for _, sched := range []Scheduler{NewSingleStage(m, c), NewTwoStage(m, c)} {
+		if _, err := Run(m, sched, seq, c); err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := mkModel(t)
+	seq := arrivals.UniformSequence(10, 1, 1) // two tables, model has one
+	if _, err := Run(m, NewTwoStage(m, 10), seq, 10); err == nil || !strings.Contains(err.Error(), "cover") {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+}

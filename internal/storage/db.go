@@ -1,0 +1,58 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DB is a catalog of tables sharing one work-unit counter.
+type DB struct {
+	stats  Stats
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Stats returns the shared work-unit counters.
+func (db *DB) Stats() *Stats { return &db.stats }
+
+// CreateTable adds a new table to the catalog.
+func (db *DB) CreateTable(schema *Schema) (*Table, error) {
+	if _, dup := db.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", schema.Name)
+	}
+	t := NewTable(schema, &db.stats)
+	db.tables[schema.Name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable returns the named table or panics; for use after schema setup.
+func (db *DB) MustTable(name string) *Table {
+	t, err := db.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TableNames lists the catalog in sorted order.
+func (db *DB) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

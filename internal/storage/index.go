@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"fmt"
+
+	"abivm/internal/btree"
+)
+
+// IndexKind selects the physical structure of a secondary index.
+type IndexKind uint8
+
+// Index kinds.
+const (
+	// HashIndex supports equality lookups in O(1).
+	HashIndex IndexKind = iota
+	// OrderedIndex supports equality and range lookups via a B-tree over
+	// the (single) indexed column.
+	OrderedIndex
+)
+
+// Index is a secondary index over one or more columns of a table. Hash
+// indexes map an encoded composite key to the set of row slots holding
+// it; ordered indexes keep a B-tree from the indexed value to the slot
+// set (single-column only).
+type Index struct {
+	Name string
+	Kind IndexKind
+	Cols []int // column positions, in index order
+
+	hash map[string][]int
+	tree *btree.Map[Value, map[int]struct{}]
+}
+
+func newIndex(name string, kind IndexKind, cols []int) (*Index, error) {
+	idx := &Index{Name: name, Kind: kind, Cols: cols}
+	switch kind {
+	case HashIndex:
+		idx.hash = make(map[string][]int)
+	case OrderedIndex:
+		if len(cols) != 1 {
+			return nil, fmt.Errorf("storage: ordered index %s must cover exactly one column", name)
+		}
+		idx.tree = btree.New[Value, map[int]struct{}](Compare)
+	default:
+		return nil, fmt.Errorf("storage: unknown index kind %d", kind)
+	}
+	return idx, nil
+}
+
+// keyOf extracts the index key values from a row.
+func (ix *Index) keyOf(r Row) []Value {
+	vals := make([]Value, len(ix.Cols))
+	for i, c := range ix.Cols {
+		vals[i] = r[c]
+	}
+	return vals
+}
+
+func (ix *Index) insert(r Row, slot int) {
+	switch ix.Kind {
+	case HashIndex:
+		k := EncodeKey(ix.keyOf(r)...)
+		ix.hash[k] = append(ix.hash[k], slot)
+	case OrderedIndex:
+		v := r[ix.Cols[0]]
+		set, ok := ix.tree.Get(v)
+		if !ok {
+			set = make(map[int]struct{})
+			ix.tree.Set(v, set)
+		}
+		set[slot] = struct{}{}
+	}
+}
+
+func (ix *Index) remove(r Row, slot int) {
+	switch ix.Kind {
+	case HashIndex:
+		k := EncodeKey(ix.keyOf(r)...)
+		slots := ix.hash[k]
+		for i, s := range slots {
+			if s == slot {
+				slots[i] = slots[len(slots)-1]
+				slots = slots[:len(slots)-1]
+				break
+			}
+		}
+		if len(slots) == 0 {
+			delete(ix.hash, k)
+		} else {
+			ix.hash[k] = slots
+		}
+	case OrderedIndex:
+		v := r[ix.Cols[0]]
+		if set, ok := ix.tree.Get(v); ok {
+			delete(set, slot)
+			if len(set) == 0 {
+				ix.tree.Delete(v)
+			}
+		}
+	}
+}
+
+// Bound is one end of an index range; a nil *Bound means unbounded.
+type Bound struct {
+	Value     Value
+	Exclusive bool
+}
+
+// ascendRange visits (value, slot set) pairs of an ordered index within
+// [lo, hi] (each bound optional, exclusivity per bound) in ascending
+// order until fn returns false. It panics on hash indexes.
+func (ix *Index) ascendRange(lo, hi *Bound, fn func(v Value, slots map[int]struct{}) bool) {
+	if ix.Kind != OrderedIndex {
+		panic("storage: range scan on a non-ordered index")
+	}
+	visit := func(v Value, slots map[int]struct{}) bool {
+		if lo != nil && lo.Exclusive && Compare(v, lo.Value) == 0 {
+			return true
+		}
+		if hi != nil {
+			c := Compare(v, hi.Value)
+			if c > 0 || (c == 0 && hi.Exclusive) {
+				return false
+			}
+		}
+		return fn(v, slots)
+	}
+	if lo == nil {
+		ix.tree.Ascend(visit)
+		return
+	}
+	ix.tree.AscendFrom(lo.Value, visit)
+}
+
+// lookupEq returns the row slots whose index key equals vals.
+func (ix *Index) lookupEq(vals []Value) []int {
+	switch ix.Kind {
+	case HashIndex:
+		return ix.hash[EncodeKey(vals...)]
+	case OrderedIndex:
+		set, ok := ix.tree.Get(vals[0])
+		if !ok {
+			return nil
+		}
+		out := make([]int, 0, len(set))
+		for s := range set {
+			out = append(out, s)
+		}
+		return out
+	}
+	return nil
+}

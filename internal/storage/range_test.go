@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func rangeTable(t *testing.T) *Table {
+	t.Helper()
+	schema, err := NewSchema("t", []Column{
+		{Name: "k", Type: TInt},
+		{Name: "v", Type: TFloat},
+	}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable(schema, nil)
+	if err := tbl.CreateIndex("v_ord", OrderedIndex, "v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		// Values 0, 0.5, 1.0, ... with duplicates every 10.
+		if err := tbl.Insert(Row{I(int64(i)), F(float64(i%10) / 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func collectRange(tbl *Table, lo, hi *Bound) []Row {
+	ix := tbl.IndexOn("v")
+	var out []Row
+	tbl.ScanRangeVia(ix, lo, hi, func(r Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+func TestScanRangeViaBounds(t *testing.T) {
+	tbl := rangeTable(t)
+	cases := []struct {
+		name   string
+		lo, hi *Bound
+		want   int // matching rows
+	}{
+		{"unbounded", nil, nil, 50},
+		{"lo-inclusive", &Bound{Value: F(2)}, nil, 30},                            // v in {2,2.5,3,3.5,4,4.5}: 6 values x 5
+		{"lo-exclusive", &Bound{Value: F(2), Exclusive: true}, nil, 25},           // drops v=2
+		{"hi-inclusive", nil, &Bound{Value: F(1)}, 15},                            // v in {0,0.5,1}
+		{"hi-exclusive", nil, &Bound{Value: F(1), Exclusive: true}, 10},           // v in {0,0.5}
+		{"window", &Bound{Value: F(1)}, &Bound{Value: F(2), Exclusive: true}, 10}, // {1,1.5}
+		{"point", &Bound{Value: F(3)}, &Bound{Value: F(3)}, 5},
+		{"empty", &Bound{Value: F(100)}, nil, 0},
+	}
+	for _, c := range cases {
+		got := collectRange(tbl, c.lo, c.hi)
+		if len(got) != c.want {
+			t.Errorf("%s: %d rows, want %d", c.name, len(got), c.want)
+		}
+	}
+}
+
+func TestScanRangeViaAscendingOrder(t *testing.T) {
+	tbl := rangeTable(t)
+	rows := collectRange(tbl, nil, nil)
+	for i := 1; i < len(rows); i++ {
+		if Compare(rows[i-1][1], rows[i][1]) > 0 {
+			t.Fatalf("rows not in ascending key order at %d", i)
+		}
+	}
+}
+
+func TestScanRangeViaEarlyStop(t *testing.T) {
+	tbl := rangeTable(t)
+	ix := tbl.IndexOn("v")
+	count := 0
+	tbl.ScanRangeVia(ix, nil, nil, func(Row) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("visited %d rows, want 7", count)
+	}
+}
+
+func TestScanRangeViaTracksMutations(t *testing.T) {
+	tbl := rangeTable(t)
+	// Delete all rows with v == 0 (keys 0, 10, 20, 30, 40).
+	for _, k := range []int64{0, 10, 20, 30, 40} {
+		if _, err := tbl.Delete(I(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collectRange(tbl, nil, &Bound{Value: F(0)})
+	if len(got) != 0 {
+		t.Fatalf("deleted rows still visible: %v", got)
+	}
+	// Updates move rows between range buckets.
+	if _, err := tbl.Update([]Value{I(1)}, Row{I(1), F(9.5)}); err != nil {
+		t.Fatal(err)
+	}
+	got = collectRange(tbl, &Bound{Value: F(9)}, nil)
+	if len(got) != 1 || got[0][0].Int() != 1 {
+		t.Fatalf("moved row not found: %v", got)
+	}
+}
+
+func TestScanRangeViaPanicsOnHashIndex(t *testing.T) {
+	tbl := rangeTable(t)
+	if err := tbl.CreateIndex("k_hash", HashIndex, "k"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on hash-index range scan")
+		}
+	}()
+	tbl.ScanRangeVia(tbl.IndexOn("k"), nil, nil, func(Row) bool { return true })
+}
+
+func TestScanRangeViaRandomizedAgainstFilter(t *testing.T) {
+	// Property: for random data and random bounds, the range scan agrees
+	// with a full scan + filter.
+	rng := rand.New(rand.NewSource(77))
+	schema, err := NewSchema("r", []Column{
+		{Name: "k", Type: TInt},
+		{Name: "v", Type: TInt},
+	}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable(schema, nil)
+	if err := tbl.CreateIndex("v_ord", OrderedIndex, "v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := tbl.Insert(Row{I(int64(i)), I(int64(rng.Intn(40)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := tbl.IndexOn("v")
+	for trial := 0; trial < 100; trial++ {
+		var lo, hi *Bound
+		if rng.Intn(4) > 0 {
+			lo = &Bound{Value: I(int64(rng.Intn(45) - 2)), Exclusive: rng.Intn(2) == 0}
+		}
+		if rng.Intn(4) > 0 {
+			hi = &Bound{Value: I(int64(rng.Intn(45) - 2)), Exclusive: rng.Intn(2) == 0}
+		}
+		inRange := func(v Value) bool {
+			if lo != nil {
+				c := Compare(v, lo.Value)
+				if c < 0 || (c == 0 && lo.Exclusive) {
+					return false
+				}
+			}
+			if hi != nil {
+				c := Compare(v, hi.Value)
+				if c > 0 || (c == 0 && hi.Exclusive) {
+					return false
+				}
+			}
+			return true
+		}
+		var want []int64
+		tbl.Scan(func(r Row) bool {
+			if inRange(r[1]) {
+				want = append(want, r[0].Int())
+			}
+			return true
+		})
+		var got []int64
+		tbl.ScanRangeVia(ix, lo, hi, func(r Row) bool {
+			got = append(got, r[0].Int())
+			return true
+		})
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d rows, want %d (lo=%v hi=%v)", trial, len(got), len(want), lo, hi)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: row sets differ", trial)
+			}
+		}
+	}
+}

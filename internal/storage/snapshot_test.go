@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func snapshotDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	schema, err := NewSchema("items", []Column{
+		{Name: "id", Type: TInt},
+		{Name: "name", Type: TString},
+		{Name: "price", Type: TFloat},
+		{Name: "bucket", Type: TInt},
+	}, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		row := Row{I(i), S("item"), F(float64(i) * 1.5), I(i % 7)}
+		if err := tbl.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.CreateIndex("by_bucket", HashIndex, "bucket"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("by_price", OrderedIndex, "price"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := snapshotDB(t)
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := db.MustTable("items")
+	got := restored.MustTable("items")
+	if got.Len() != orig.Len() {
+		t.Fatalf("restored %d rows, want %d", got.Len(), orig.Len())
+	}
+	// Row-level equality through the PK.
+	orig.Scan(func(r Row) bool {
+		rr, ok := got.Get(r[0])
+		if !ok {
+			t.Fatalf("row %v missing after restore", r)
+		}
+		for i := range r {
+			if !Equal(r[i], rr[i]) {
+				t.Fatalf("row %v != %v", r, rr)
+			}
+		}
+		return true
+	})
+	// Indexes were rebuilt and work.
+	rows, err := got.LookupIndex("by_bucket", I(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 { // ids 3,10,...,94
+		t.Fatalf("bucket lookup = %d rows", len(rows))
+	}
+	ord := got.IndexOn("price")
+	if ord == nil || ord.Kind != OrderedIndex {
+		t.Fatal("ordered index not restored")
+	}
+	count := 0
+	got.ScanRangeVia(ord, &Bound{Value: F(10)}, &Bound{Value: F(20), Exclusive: true}, func(Row) bool {
+		count++
+		return true
+	})
+	if count != 7 { // prices 10.5, 12, 13.5, 15, 16.5, 18, 19.5
+		t.Fatalf("range after restore = %d rows", count)
+	}
+	// Restored DB starts with clean counters.
+	if restored.Stats().RowsInserted != 0 {
+		t.Fatalf("restored stats not reset: %+v", restored.Stats())
+	}
+}
+
+func TestSnapshotMultipleTables(t *testing.T) {
+	db := snapshotDB(t)
+	schema, _ := NewSchema("other", []Column{{Name: "k", Type: TInt}}, "k")
+	tbl, err := db.CreateTable(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(Row{I(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := restored.TableNames()
+	if len(names) != 2 || names[0] != "items" || names[1] != "other" {
+		t.Fatalf("tables = %v", names)
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSnapshotEmptyDB(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewDB().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.TableNames()) != 0 {
+		t.Fatalf("tables = %v", restored.TableNames())
+	}
+}

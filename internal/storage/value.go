@@ -1,0 +1,215 @@
+// Package storage implements the in-memory relational engine underneath
+// the IVM substrate: typed values, schemas, heap tables with primary-key
+// enforcement, hash and ordered secondary indexes, and work-unit
+// accounting. The engine is single-writer: callers serialize access, as
+// the maintenance loop of the paper does.
+//
+// Work units are the engine's deterministic cost currency. Every row
+// examined, index probed, or tuple materialized bumps a counter in Stats;
+// the costmodel package converts counters into the pseudo-millisecond
+// cost functions that drive the maintenance algorithms. This mirrors the
+// paper's methodology (cost functions "measured by experiments") while
+// keeping every experiment machine-independent and reproducible.
+package storage
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Type enumerates the value types the engine supports.
+type Type uint8
+
+// Supported value types.
+const (
+	TInt Type = iota
+	TFloat
+	TString
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INTEGER"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "TEXT"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Value is a typed scalar. The zero Value is the integer 0.
+type Value struct {
+	T Type
+	i int64
+	f float64
+	s string
+}
+
+// I returns an integer value.
+func I(v int64) Value { return Value{T: TInt, i: v} }
+
+// F returns a float value.
+func F(v float64) Value { return Value{T: TFloat, f: v} }
+
+// S returns a string value.
+func S(v string) Value { return Value{T: TString, s: v} }
+
+// Int returns the integer payload; it panics on other types.
+func (v Value) Int() int64 {
+	if v.T != TInt {
+		panic(fmt.Sprintf("storage: Int() on %s value", v.T))
+	}
+	return v.i
+}
+
+// Float returns the float payload, widening integers; it panics on
+// strings.
+func (v Value) Float() float64 {
+	switch v.T {
+	case TFloat:
+		return v.f
+	case TInt:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("storage: Float() on %s value", v.T))
+}
+
+// Str returns the string payload; it panics on other types.
+func (v Value) Str() string {
+	if v.T != TString {
+		panic(fmt.Sprintf("storage: Str() on %s value", v.T))
+	}
+	return v.s
+}
+
+// numeric reports whether the value is an int or float.
+func (v Value) numeric() bool { return v.T == TInt || v.T == TFloat }
+
+// Compare orders two values: numerics compare by numeric value (ints and
+// floats are mutually comparable), strings lexicographically. Comparing a
+// string with a numeric panics: the planner type-checks expressions before
+// execution, so a cross-type comparison is an engine bug.
+func Compare(a, b Value) int {
+	if a.numeric() && b.numeric() {
+		if a.T == TInt && b.T == TInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			}
+			return 0
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	if a.T == TString && b.T == TString {
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		}
+		return 0
+	}
+	panic(fmt.Sprintf("storage: incomparable values %s and %s", a.T, b.T))
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.T {
+	case TInt:
+		return strconv.FormatInt(v.i, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TString:
+		return v.s
+	}
+	return "?"
+}
+
+// appendKey appends an order-preserving, injective encoding of v to dst.
+// It is used to build composite map keys for hash indexes and primary
+// keys. A leading type tag keeps encodings of different types disjoint.
+func appendKey(dst []byte, v Value) []byte {
+	switch v.T {
+	case TInt:
+		dst = append(dst, 'i')
+		u := uint64(v.i) ^ (1 << 63) // flip sign bit: preserves order
+		for shift := 56; shift >= 0; shift -= 8 {
+			dst = append(dst, byte(u>>uint(shift)))
+		}
+	case TFloat:
+		dst = append(dst, 'f')
+		bits := math.Float64bits(v.f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		for shift := 56; shift >= 0; shift -= 8 {
+			dst = append(dst, byte(bits>>uint(shift)))
+		}
+	case TString:
+		dst = append(dst, 's')
+		dst = append(dst, v.s...)
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// EncodeKey builds a composite key string from values. The encoding is
+// injective, so it is safe as a map key; for single-type prefixes it is
+// also order-preserving.
+func EncodeKey(vals ...Value) string {
+	var buf []byte
+	for _, v := range vals {
+		buf = appendKey(buf, v)
+	}
+	return string(buf)
+}
+
+// Row is one tuple. Rows are positional; the schema maps names to
+// positions.
+type Row []Value
+
+// Clone returns an independent copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Project returns the sub-row at the given column positions.
+func (r Row) Project(cols []int) Row {
+	out := make(Row, len(cols))
+	for i, c := range cols {
+		out[i] = r[c]
+	}
+	return out
+}
+
+// String renders the row for display.
+func (r Row) String() string {
+	s := "("
+	for i, v := range r {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}

@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueAccessors(t *testing.T) {
+	if I(42).Int() != 42 {
+		t.Error("Int round trip")
+	}
+	if F(2.5).Float() != 2.5 {
+		t.Error("Float round trip")
+	}
+	if S("x").Str() != "x" {
+		t.Error("Str round trip")
+	}
+	// Int widens to float.
+	if I(3).Float() != 3.0 {
+		t.Error("Int widening")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { S("x").Int() },
+		func() { S("x").Float() },
+		func() { I(1).Str() },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{I(1), I(2), -1},
+		{I(2), I(2), 0},
+		{I(3), I(2), 1},
+		{F(1.5), F(2.5), -1},
+		{I(2), F(2.0), 0},
+		{F(1.9), I(2), -1},
+		{S("a"), S("b"), -1},
+		{S("b"), S("b"), 0},
+	}
+	for _, c := range cases {
+		got := Compare(c.a, c.b)
+		norm := 0
+		if got < 0 {
+			norm = -1
+		} else if got > 0 {
+			norm = 1
+		}
+		if norm != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIncomparablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("string vs int comparison did not panic")
+		}
+	}()
+	Compare(S("a"), I(1))
+}
+
+func TestValueString(t *testing.T) {
+	if I(-5).String() != "-5" {
+		t.Error("int formatting")
+	}
+	if F(1.25).String() != "1.25" {
+		t.Error("float formatting")
+	}
+	if S("hi").String() != "hi" {
+		t.Error("string formatting")
+	}
+}
+
+func TestEncodeKeyInjective(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a == b {
+			return true
+		}
+		return EncodeKey(I(a)) != EncodeKey(I(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Mixed-type composite keys never collide across types.
+	if EncodeKey(I(1)) == EncodeKey(F(1)) {
+		t.Error("int/float encodings collide")
+	}
+	if EncodeKey(S("1")) == EncodeKey(I(1)) {
+		t.Error("string/int encodings collide")
+	}
+	// Composite keys are not ambiguous under concatenation.
+	if EncodeKey(S("ab"), S("c")) == EncodeKey(S("a"), S("bc")) {
+		t.Error("composite string keys ambiguous")
+	}
+}
+
+func TestEncodeKeyOrderPreservingInts(t *testing.T) {
+	vals := []int64{-1 << 40, -77, -1, 0, 1, 99, 1 << 40}
+	keys := make([]string, len(vals))
+	for i, v := range vals {
+		keys[i] = EncodeKey(I(v))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("int key encoding not order-preserving: %q", keys)
+	}
+}
+
+func TestEncodeKeyOrderPreservingFloats(t *testing.T) {
+	vals := []float64{-1e10, -2.5, -0.1, 0, 0.1, 2.5, 1e10}
+	keys := make([]string, len(vals))
+	for i, v := range vals {
+		keys[i] = EncodeKey(F(v))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("float key encoding not order-preserving: %q", keys)
+	}
+}
+
+func TestRowCloneAndProject(t *testing.T) {
+	r := Row{I(1), S("x"), F(2.5)}
+	c := r.Clone()
+	c[0] = I(9)
+	if r[0].Int() != 1 {
+		t.Error("Clone aliases")
+	}
+	p := r.Project([]int{2, 0})
+	if len(p) != 2 || p[0].Float() != 2.5 || p[1].Int() != 1 {
+		t.Errorf("Project = %v", p)
+	}
+	if got := r.String(); got != "(1, x, 2.5)" {
+		t.Errorf("Row.String = %q", got)
+	}
+}
