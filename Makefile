@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race lint vet verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/abivmlint ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the merge gate: everything CI runs, in one command.
+verify:
+	sh scripts/check.sh

@@ -116,7 +116,8 @@ type View struct {
 
 // NewView parses the view query over the live database, snapshots
 // replicas, computes the initial content, and attaches a scheduling
-// policy.
+// policy. Configuration problems are returned as errors; it panics only
+// if a custom policy installed with WithCustomPolicy panics in Reset.
 func NewView(db *storage.DB, query string, opts ...Option) (*View, error) {
 	cfg := config{kind: PolicyOnline}
 	for _, o := range opts {
@@ -182,7 +183,9 @@ func (v *View) Apply(mods ...Mod) error {
 // EndStep closes the current time step: the policy observes the step's
 // arrivals and may drain delta queues to keep the refresh cost within the
 // constraint. It returns the action taken (modifications processed per
-// table) and its model cost.
+// table) and its model cost. Out-of-range policy actions are returned as
+// errors; it panics only if a custom policy returns an action whose
+// length differs from the view arity (or itself panics in Act).
 func (v *View) EndStep() (core.Vector, float64, error) {
 	pending := core.Vector(v.m.Pending())
 	act := v.pol.Act(v.t, v.stepMods.Clone(), pending.Clone(), false)
@@ -204,7 +207,9 @@ func (v *View) EndStep() (core.Vector, float64, error) {
 
 // Refresh drains every delta queue and returns the up-to-date view
 // content. Thanks to the constraint maintained by EndStep, the model cost
-// of a refresh never exceeds C.
+// of a refresh never exceeds C. Engine failures are returned as errors;
+// it panics only if the pending counts are corrupted (negative), which
+// the engine never produces.
 func (v *View) Refresh() ([]storage.Row, float64, error) {
 	pending := core.Vector(v.m.Pending())
 	cost, err := v.process(pending)
@@ -238,7 +243,9 @@ func (v *View) Result() []storage.Row { return v.m.Result() }
 func (v *View) Pending() core.Vector { return core.Vector(v.m.Pending()) }
 
 // RefreshCost returns the model cost a refresh would incur right now;
-// the library keeps it at or below the constraint between steps.
+// the library keeps it at or below the constraint between steps. It
+// panics only if the cost model arity stops matching the view's tables,
+// a state NewView rules out.
 func (v *View) RefreshCost() float64 { return v.model.Total(v.Pending()) }
 
 // TotalCost returns the accumulated model cost of all maintenance work.

@@ -1,0 +1,108 @@
+// Command abivmlint is the domain-aware static-analysis suite for the
+// abivm tree. It bundles four analyzers over invariants the compiler
+// cannot check:
+//
+//	vecalias  core.Vector parameters retained without Clone()
+//	floateq   ==/!= between float64s in cost-bearing packages
+//	errdrop   discarded error return values in internal/... and cmd/...
+//	panicdoc  undocumented panics on the exported abivm / core surface
+//
+// Usage:
+//
+//	abivmlint [-only name,name] [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// status is 1 when any finding is reported. Findings are suppressed by a
+// "//lint:ignore <analyzer> <reason>" comment on the offending line or
+// the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abivm/internal/lint"
+	"abivm/internal/lint/errdrop"
+	"abivm/internal/lint/floateq"
+	"abivm/internal/lint/panicdoc"
+	"abivm/internal/lint/vecalias"
+)
+
+var all = []*lint.Analyzer{
+	vecalias.Analyzer,
+	floateq.Analyzer,
+	errdrop.Analyzer,
+	panicdoc.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fatal(err)
+	}
+
+	modRoot, err := lint.FindModRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "abivmlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("abivmlint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "abivmlint:", err)
+	os.Exit(2)
+}

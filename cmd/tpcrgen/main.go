@@ -39,7 +39,9 @@ func main() {
 			os.Exit(1)
 		}
 		db, err = storage.ReadSnapshot(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tpcrgen:", err)
 			os.Exit(1)
@@ -75,7 +77,6 @@ func main() {
 			os.Exit(1)
 		}
 		w := bufio.NewWriter(os.Stdout)
-		defer w.Flush()
 		names := make([]string, len(tbl.Schema().Columns))
 		for i, c := range tbl.Schema().Columns {
 			names[i] = c.Name
@@ -89,6 +90,10 @@ func main() {
 			fmt.Fprintln(w, strings.Join(cells, ","))
 			return true
 		})
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "tpcrgen:", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -90,8 +90,11 @@ type priorityQueue []*pqItem
 
 func (pq priorityQueue) Len() int { return len(pq) }
 func (pq priorityQueue) Less(i, j int) bool {
-	if pq[i].d != pq[j].d {
-		return pq[i].d < pq[j].d
+	if pq[i].d < pq[j].d {
+		return true
+	}
+	if pq[i].d > pq[j].d {
+		return false
 	}
 	// Tie-break on later time to reach the destination sooner; then on key
 	// for determinism.

@@ -18,6 +18,9 @@ const maxEnumTables = 20
 // Validity of a subset is monotone (emptying more tables only shrinks the
 // residual refresh cost), so minimality is checked against one-bit-removed
 // subsets only.
+//
+// It panics if s has more than maxEnumTables components or does not match
+// the model arity.
 func GreedyActionSet(s Vector, m *CostModel, c float64, minimalOnly bool) []Vector {
 	n := len(s)
 	if n > maxEnumTables {
@@ -48,11 +51,9 @@ func GreedyActionSet(s Vector, m *CostModel, c float64, minimalOnly bool) []Vect
 				residual -= saved[j]
 			}
 		}
-		// Guard against float drift: recompute exactly when borderline.
-		if residual <= c {
-			return true
-		}
-		return false
+		// The subtractive residual drifts from the additive total the
+		// model computes, so compare within tolerance.
+		return ApproxLE(residual, c)
 	}
 	var out []Vector
 	for mask := uint32(1); mask < 1<<nOcc; mask++ {
@@ -88,7 +89,8 @@ func GreedyActionSet(s Vector, m *CostModel, c float64, minimalOnly bool) []Vect
 // and still satisfies the constraint. Tables are considered for removal in
 // descending order of their drain cost, so the kept (processed) components
 // tend to be the cheap ones; any minimal subset satisfies the paper's
-// proofs.
+// proofs. It panics if q or s does not match the model arity or q is not
+// dominated by s.
 func MinimizeAction(q, s Vector, m *CostModel, c float64) Vector {
 	out := q.Clone()
 	residual := m.Total(s.Sub(out))
@@ -114,7 +116,7 @@ func MinimizeAction(q, s Vector, m *CostModel, c float64) Vector {
 		// Dropping table cd.i from the action puts its full delta cost back
 		// into the residual refresh cost.
 		restored := m.TableCost(cd.i, s[cd.i])
-		if residual+restored <= c {
+		if ApproxLE(residual+restored, c) {
 			residual += restored
 			out[cd.i] = 0
 		}
@@ -125,7 +127,8 @@ func MinimizeAction(q, s Vector, m *CostModel, c float64) Vector {
 // CheapestGreedyMinimalAction returns the greedy minimal valid action for
 // state s with the smallest immediate processing cost f(q), or nil when s
 // is not full (no action is forced). Ties break toward the
-// lexicographically smallest action for determinism.
+// lexicographically smallest action for determinism. It panics if s does
+// not match the model arity or exceeds the enumeration cap.
 func CheapestGreedyMinimalAction(s Vector, m *CostModel, c float64) Vector {
 	if !m.Full(s, c) {
 		return nil
@@ -134,7 +137,7 @@ func CheapestGreedyMinimalAction(s Vector, m *CostModel, c float64) Vector {
 	bestCost := 0.0
 	for _, q := range GreedyActionSet(s, m, c, true) {
 		cost := m.Total(q)
-		if best == nil || cost < bestCost || (cost == bestCost && q.Key() < best.Key()) {
+		if best == nil || cost < bestCost || (ApproxEq(cost, bestCost) && q.Key() < best.Key()) {
 			best, bestCost = q, cost
 		}
 	}

@@ -29,7 +29,8 @@ type CostModel struct {
 	funcs []CostFunc
 }
 
-// NewCostModel builds a cost model from one CostFunc per base table.
+// NewCostModel builds a cost model from one CostFunc per base table. It
+// panics if no cost functions are given.
 func NewCostModel(funcs ...CostFunc) *CostModel {
 	if len(funcs) == 0 {
 		panic("core: cost model needs at least one cost function")
@@ -44,7 +45,7 @@ func (m *CostModel) N() int { return len(m.funcs) }
 func (m *CostModel) Func(i int) CostFunc { return m.funcs[i] }
 
 // TableCost returns f_i(k): the cost of batch-processing k modifications
-// from delta table i.
+// from delta table i. It panics if k is negative.
 func (m *CostModel) TableCost(i, k int) float64 {
 	if k < 0 {
 		panic(fmt.Sprintf("core: negative batch size %d for table %d", k, i))
@@ -56,7 +57,8 @@ func (m *CostModel) TableCost(i, k int) float64 {
 }
 
 // Total returns f(v) = Σ_i f_i(v[i]), the refresh cost of state v or the
-// cost of action v.
+// cost of action v. It panics if v's length does not match the model
+// arity or any component is negative.
 func (m *CostModel) Total(v Vector) float64 {
 	if len(v) != len(m.funcs) {
 		panic(fmt.Sprintf("core: vector length %d does not match model arity %d", len(v), len(m.funcs)))
@@ -69,8 +71,11 @@ func (m *CostModel) Total(v Vector) float64 {
 }
 
 // Full reports whether state s violates the response-time constraint C,
-// i.e. f(s) > C. A valid plan must never leave a full post-action state.
-func (m *CostModel) Full(s Vector, c float64) bool { return m.Total(s) > c }
+// i.e. f(s) > C beyond float tolerance: a refresh cost within
+// FloatTolerance of the budget still fits (summation-order drift must not
+// force an action). A valid plan must never leave a full post-action
+// state. It panics if s's length does not match the model arity.
+func (m *CostModel) Full(s Vector, c float64) bool { return !ApproxLE(m.Total(s), c) }
 
 // maxBatchHorizon bounds the fallback search in MaxBatch for cost
 // functions whose value never exceeds the budget (e.g. bounded costs).

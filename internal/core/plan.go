@@ -23,7 +23,8 @@ func (a Arrivals) N() int {
 }
 
 // TotalPerTable returns K, where K[i] is the total number of modifications
-// on table i over the whole sequence.
+// on table i over the whole sequence. It panics if the sequence is not
+// rectangular (see Validate).
 func (a Arrivals) TotalPerTable() Vector {
 	if len(a) == 0 {
 		return nil
@@ -37,7 +38,8 @@ func (a Arrivals) TotalPerTable() Vector {
 
 // SuffixTotals returns S where S[t][i] is the total number of table-i
 // modifications arriving during (t, T], i.e. strictly after step t. The
-// A* heuristic consumes these. S has len(a) entries; S[T] is zero.
+// A* heuristic consumes these. S has len(a) entries; S[T] is zero. It
+// panics if the sequence is empty or not rectangular.
 func (a Arrivals) SuffixTotals() []Vector {
 	n := a.N()
 	out := make([]Vector, len(a))
@@ -51,7 +53,7 @@ func (a Arrivals) SuffixTotals() []Vector {
 
 // MaxPerStep returns m, where m[i] is the largest single-step arrival
 // count for table i. The A* heuristic uses this as the slack term in its
-// per-table batch bound.
+// per-table batch bound. It panics if the sequence is empty.
 func (a Arrivals) MaxPerStep() Vector {
 	m := NewVector(a.N())
 	for _, d := range a {
@@ -86,6 +88,18 @@ func (a Arrivals) Validate() error {
 // action by the evaluation helpers in this package.
 type Plan []Vector
 
+// Clone returns a deep copy of the plan: every action vector is copied,
+// and nil entries stay nil.
+func (p Plan) Clone() Plan {
+	out := make(Plan, len(p))
+	for t, act := range p {
+		if act != nil {
+			out[t] = act.Clone()
+		}
+	}
+	return out
+}
+
 // Instance bundles everything that defines one problem instance: the
 // arrival sequence, the per-table cost functions, and the response-time
 // constraint C. The view is refreshed at the last step of Arrivals.
@@ -95,7 +109,8 @@ type Instance struct {
 	C        float64
 }
 
-// NewInstance builds an instance and validates its shape.
+// NewInstance builds an instance and validates its shape. It panics if
+// model is nil; shape problems in the arrivals are returned as errors.
 func NewInstance(arrivals Arrivals, model *CostModel, c float64) (*Instance, error) {
 	if err := arrivals.Validate(); err != nil {
 		return nil, err
@@ -109,14 +124,17 @@ func NewInstance(arrivals Arrivals, model *CostModel, c float64) (*Instance, err
 	return &Instance{Arrivals: arrivals, Model: model, C: c}, nil
 }
 
-// N returns the number of base tables.
+// N returns the number of base tables. It panics if the instance holds an
+// empty arrival sequence (NewInstance never builds one).
 func (in *Instance) N() int { return in.Arrivals.N() }
 
 // T returns the refresh time.
 func (in *Instance) T() int { return in.Arrivals.T() }
 
 // Cost returns the total maintenance cost of plan p: Σ_t f(p_t).
-// Nil actions count as zero.
+// Nil actions count as zero. It panics if an action does not match the
+// model arity or has a negative component; use Validate to get an error
+// instead.
 func (in *Instance) Cost(p Plan) float64 {
 	total := 0.0
 	for _, act := range p {
@@ -147,7 +165,8 @@ type Trajectory struct {
 }
 
 // Run evolves plan p over the instance and returns the state trajectory.
-// It does not validate the plan; see Validate.
+// It does not validate the plan; see Validate. It panics if an action's
+// length does not match the instance arity.
 func (in *Instance) Run(p Plan) Trajectory {
 	n := in.N()
 	tEnd := in.T()
@@ -178,6 +197,10 @@ func (e *PlanError) Error() string {
 //   - every action drains at most what has accumulated (0 <= p_t <= s_t),
 //   - every post-action state before T satisfies f(s_t+) <= C,
 //   - the action at T empties all delta tables (p_T = s_T).
+//
+// Malformed actions are reported as *PlanError values, never panics; it
+// panics only if the instance itself is malformed (mismatched arrival
+// arity, which NewInstance rejects).
 func (in *Instance) Validate(p Plan) error {
 	n := in.N()
 	tEnd := in.T()
@@ -211,7 +234,8 @@ func (in *Instance) Validate(p Plan) error {
 }
 
 // IsLazy reports whether plan p is lazy per Definition 2: before T it only
-// acts when the pre-action state is full. The plan must be valid.
+// acts when the pre-action state is full. The plan must be valid; like
+// Run, it panics on actions whose length does not match the instance.
 func (in *Instance) IsLazy(p Plan) bool {
 	tr := in.Run(p)
 	for t := 0; t < in.T(); t++ {
@@ -227,7 +251,8 @@ func (in *Instance) IsLazy(p Plan) bool {
 }
 
 // IsGreedy reports whether every action of p either fully drains a delta
-// table or leaves it untouched (Definition 3, greediness).
+// table or leaves it untouched (Definition 3, greediness). Like Run, it
+// panics on actions whose length does not match the instance.
 func (in *Instance) IsGreedy(p Plan) bool {
 	tr := in.Run(p)
 	for t := 0; t <= in.T(); t++ {
@@ -246,7 +271,8 @@ func (in *Instance) IsGreedy(p Plan) bool {
 
 // IsMinimal reports whether every action before T is minimal per
 // Definition 3: no non-zero component can be dropped while keeping the
-// post-action state non-full.
+// post-action state non-full. Like Run, it panics on actions whose length
+// does not match the instance.
 func (in *Instance) IsMinimal(p Plan) bool {
 	tr := in.Run(p)
 	for t := 0; t < in.T(); t++ {
@@ -269,6 +295,7 @@ func (in *Instance) IsMinimal(p Plan) bool {
 }
 
 // IsLGM reports whether p is a valid LGM (lazy, greedy, minimal) plan.
+// Like Run, it panics on actions whose length does not match the instance.
 func (in *Instance) IsLGM(p Plan) bool {
 	if in.Validate(p) != nil {
 		return false
@@ -279,7 +306,9 @@ func (in *Instance) IsLGM(p Plan) bool {
 // NaivePlan returns the symmetric deferred-maintenance baseline: whenever
 // the pre-action state is full (and at T), process everything. This is the
 // NAIVE plan of the paper's experiments and is always a valid LGM plan
-// except that its actions are not necessarily minimal.
+// except that its actions are not necessarily minimal. It panics if the
+// instance's arrival sequence is not rectangular (NewInstance rejects
+// such sequences).
 func (in *Instance) NaivePlan() Plan {
 	n := in.N()
 	tEnd := in.T()

@@ -59,7 +59,8 @@ func (v Vector) Sub(w Vector) Vector {
 	return out
 }
 
-// AddInPlace adds w into v component-wise.
+// AddInPlace adds w into v component-wise. It panics if the vectors have
+// different lengths.
 func (v Vector) AddInPlace(w Vector) {
 	mustSameLen(v, w)
 	for i := range v {
@@ -67,7 +68,8 @@ func (v Vector) AddInPlace(w Vector) {
 	}
 }
 
-// SubInPlace subtracts w from v component-wise.
+// SubInPlace subtracts w from v component-wise. It panics if the vectors
+// have different lengths.
 func (v Vector) SubInPlace(w Vector) {
 	mustSameLen(v, w)
 	for i := range v {
@@ -85,7 +87,8 @@ func (v Vector) NonNegative() bool {
 	return true
 }
 
-// DominatedBy reports whether v <= w component-wise.
+// DominatedBy reports whether v <= w component-wise. It panics if the
+// vectors have different lengths.
 func (v Vector) DominatedBy(w Vector) bool {
 	mustSameLen(v, w)
 	for i := range v {

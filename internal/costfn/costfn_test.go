@@ -2,6 +2,7 @@ package costfn
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -21,6 +22,9 @@ func TestLinearCost(t *testing.T) {
 	}
 	if got := f.Cost(10); got != 23 {
 		t.Errorf("Cost(10) = %g", got)
+	}
+	if err := CheckInvariants(f, 200); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -87,6 +91,9 @@ func TestStepCost(t *testing.T) {
 			t.Errorf("Cost(%d) = %g, want %g", c.k, got, c.want)
 		}
 	}
+	if err := CheckInvariants(f, 200); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestStepMaxBatch(t *testing.T) {
@@ -126,6 +133,12 @@ func TestPowerAndLog(t *testing.T) {
 	if got := l.Cost(1); math.Abs(got-5) > 1e-12 { // 3*log2(2)+2
 		t.Errorf("Log.Cost(1) = %g, want 5", got)
 	}
+	if err := CheckInvariants(p, 200); err != nil {
+		t.Errorf("power: %v", err)
+	}
+	if err := CheckInvariants(l, 200); err != nil {
+		t.Errorf("log: %v", err)
+	}
 }
 
 func TestNewPowerValidation(t *testing.T) {
@@ -160,6 +173,9 @@ func TestPiecewiseLinear(t *testing.T) {
 			t.Errorf("Cost(%d) = %g, want %g", c.k, got, c.want)
 		}
 	}
+	if err := CheckInvariants(f, 200); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestNewPiecewiseLinearValidation(t *testing.T) {
@@ -188,6 +204,9 @@ func TestTableCostAndExtrapolation(t *testing.T) {
 	// Extrapolation with slope 1.
 	if got := f.Cost(10); math.Abs(got-10) > 1e-9 {
 		t.Errorf("Cost(10) = %g, want 10", got)
+	}
+	if err := CheckInvariants(f, 200); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -219,6 +238,9 @@ func TestScaled(t *testing.T) {
 	if got := s.Cost(4); got != 15 {
 		t.Errorf("Scaled.Cost(4) = %g, want 15", got)
 	}
+	if err := CheckInvariants(s, 200); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestCapped(t *testing.T) {
@@ -236,8 +258,8 @@ func TestCapped(t *testing.T) {
 	if got := f.Cost(50); got != 10 {
 		t.Errorf("Cost(50) = %g, want capped 10", got)
 	}
-	if !IsWellFormed(f, 200) {
-		t.Error("capped linear not monotone subadditive")
+	if err := CheckInvariants(f, 200); err != nil {
+		t.Errorf("capped linear: %v", err)
 	}
 	// A capped step function stays well-formed too.
 	step, _ := NewStep(3, 2)
@@ -245,8 +267,8 @@ func TestCapped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !IsWellFormed(cs, 200) {
-		t.Error("capped step not monotone subadditive")
+	if err := CheckInvariants(cs, 200); err != nil {
+		t.Errorf("capped step: %v", err)
 	}
 }
 
@@ -272,13 +294,58 @@ func TestStandardFunctionsAreWellFormed(t *testing.T) {
 		"piecewise": pw, "table": tbl,
 	}
 	for name, f := range funcs {
-		if k := CheckMonotone(f, 300); k != 0 {
-			t.Errorf("%s: not monotone at k=%d", name, k)
-		}
-		if x, y := CheckSubadditive(f, 300); x != 0 {
-			t.Errorf("%s: not subadditive at (%d,%d)", name, x, y)
+		if err := CheckInvariants(f, 300); err != nil {
+			t.Errorf("%s: %v", name, err)
 		}
 	}
+}
+
+func TestCheckInvariantsReportsViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		f    core.CostFunc
+		maxK int
+		want string
+	}{
+		{"bad maxK", quadratic{}, 0, "maxK >= 1"},
+		{"nonzero origin", offsetCost{}, 10, "Cost(0)"},
+		{"not finite", nanCost{}, 10, "not finite"},
+		{"negative", negCost{}, 10, "negative"},
+		{"not monotone", vShape{}, 10, "not monotone"},
+		{"superadditive", quadratic{}, 10, "not subadditive"},
+	}
+	for _, c := range cases {
+		err := CheckInvariants(c.f, c.maxK)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+type offsetCost struct{}
+
+func (offsetCost) Cost(k int) float64 { return float64(k) + 1 }
+
+type nanCost struct{}
+
+func (nanCost) Cost(k int) float64 {
+	if k == 3 {
+		return math.NaN()
+	}
+	return float64(k)
+}
+
+type negCost struct{}
+
+func (negCost) Cost(k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	return -1
 }
 
 func TestLinearSubadditivityProperty(t *testing.T) {

@@ -69,7 +69,7 @@ func (ms *Measurement) FitLinear() (costfn.Linear, error) {
 		sumXX += x * x
 	}
 	denom := n*sumXX - sumX*sumX
-	if denom == 0 {
+	if core.ApproxEq(denom, 0) {
 		return costfn.Linear{}, fmt.Errorf("costmodel: degenerate sample set")
 	}
 	a := (n*sumXY - sumX*sumY) / denom

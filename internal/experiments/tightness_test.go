@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"testing"
+
+	"abivm/internal/costfn"
+)
+
+func TestStepCostInvariants(t *testing.T) {
+	// The Section 3.2 construction must itself be a valid cost function
+	// (monotone, subadditive, zero at the origin) for every eps the
+	// tightness experiment uses — otherwise the OPT_LGM/OPT ratio it
+	// reports would be measured on an instance outside the theorem's
+	// hypotheses.
+	for _, eps := range []float64{1, 0.5, 0.25, 0.125} {
+		f := stepCost{eps: eps, c: 10}
+		if err := costfn.CheckInvariants(f, 4*int(2/eps)+8); err != nil {
+			t.Errorf("eps=%g: %v", eps, err)
+		}
+	}
+}

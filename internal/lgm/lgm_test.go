@@ -235,3 +235,51 @@ func TestMakeLazyPlanIdempotentOnLazyInput(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanTransformsDoNotAliasInput(t *testing.T) {
+	// Regression test for vector aliasing: the transformed plan must own
+	// its vectors, so mutating the input plan (or vice versa) afterwards
+	// must not change the output. A shared backing array here would let a
+	// caller silently corrupt a derived plan.
+	rng := rand.New(rand.NewSource(7))
+	lin1, _ := costfn.NewLinear(1, 2)
+	lin2, _ := costfn.NewLinear(2, 1)
+	in := randInstance(t, rng, []core.CostFunc{lin1, lin2}, 8, 4, 14)
+	p := randValidPlan(rng, in)
+
+	for name, transform := range map[string]func(*core.Instance, core.Plan) core.Plan{
+		"MakeLazyPlan": MakeLazyPlan,
+		"MakeLGMPlan":  MakeLGMPlan,
+	} {
+		q := transform(in, p.Clone())
+		snapshot := q.Clone()
+		// Scribble over the input plan's vectors.
+		for _, act := range p {
+			for i := range act {
+				act[i] = 997
+			}
+		}
+		for ti := range q {
+			if !q[ti].Equal(snapshot[ti]) {
+				t.Errorf("%s: output step %d changed after input mutation: %v -> %v",
+					name, ti, snapshot[ti], q[ti])
+			}
+		}
+		// And the other direction: mutating the output must not corrupt
+		// the input the caller still holds.
+		p2 := randValidPlan(rng, in)
+		p2Snap := p2.Clone()
+		q2 := transform(in, p2)
+		for _, act := range q2 {
+			for i := range act {
+				act[i] = -1
+			}
+		}
+		for ti := range p2 {
+			if !p2[ti].Equal(p2Snap[ti]) {
+				t.Errorf("%s: input step %d changed after output mutation: %v -> %v",
+					name, ti, p2Snap[ti], p2[ti])
+			}
+		}
+	}
+}

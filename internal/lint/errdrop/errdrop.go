@@ -1,0 +1,170 @@
+// Package errdrop flags discarded error return values: calls whose error
+// result is ignored entirely (expression statements, go/defer statements)
+// or assigned to the blank identifier. The storage, ivm, and pubsub layers
+// report real failures through errors; dropping one turns a detectable
+// inconsistency into silent corruption.
+//
+// A small allowlist covers calls whose errors are conventionally
+// meaningless: the fmt print family and the write methods of
+// strings.Builder and bytes.Buffer (documented to never return a non-nil
+// error).
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"abivm/internal/lint"
+)
+
+// Analyzer is the errdrop check.
+var Analyzer = &lint.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags ignored or blank-assigned error return values in internal/... and cmd/...",
+	AppliesTo: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "/internal/") || strings.HasSuffix(pkgPath, "/internal") ||
+			strings.Contains(pkgPath, "/cmd/") || strings.HasSuffix(pkgPath, "/cmd")
+	},
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkIgnoredCall(pass, n.X, "")
+			case *ast.GoStmt:
+				checkIgnoredCall(pass, n.Call, "go ")
+			case *ast.DeferStmt:
+				checkIgnoredCall(pass, n.Call, "defer ")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkIgnoredCall reports a call statement that silently discards an
+// error result.
+func checkIgnoredCall(pass *lint.Pass, e ast.Expr, prefix string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.TypesInfo
+	idx := errorResultIndexes(info, call)
+	if len(idx) == 0 || allowlisted(info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%serror result of %s is discarded; handle it or assign it explicitly", prefix, calleeName(info, call))
+}
+
+// checkBlankAssign reports error results assigned to the blank
+// identifier, in both tuple form (v, _ := f()) and direct form (_ = f()).
+func checkBlankAssign(pass *lint.Pass, as *ast.AssignStmt) {
+	info := pass.Pkg.TypesInfo
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// v, _ := f(): one call, tuple results.
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || allowlisted(info, call) {
+			return
+		}
+		for _, i := range errorResultIndexes(info, call) {
+			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+				pass.Reportf(as.Lhs[i].Pos(), "error result of %s is assigned to _; handle it", calleeName(info, call))
+			}
+		}
+		return
+	}
+	if len(as.Rhs) != len(as.Lhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !isBlank(as.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || allowlisted(info, call) {
+			continue
+		}
+		if len(errorResultIndexes(info, call)) > 0 {
+			pass.Reportf(as.Lhs[i].Pos(), "error result of %s is assigned to _; handle it", calleeName(info, call))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// errorResultIndexes returns the result positions of the call that have
+// type error.
+func errorResultIndexes(info *types.Info, call *ast.CallExpr) []int {
+	t := info.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	var out []int
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				out = append(out, i)
+			}
+		}
+	default:
+		if types.Identical(t, errorType) {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// allowlisted reports whether the callee's errors are conventionally
+// ignorable.
+func allowlisted(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Method call: check the receiver's named type.
+	if s, ok := info.Selections[sel]; ok {
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if full == "strings.Builder" || full == "bytes.Buffer" {
+				return strings.HasPrefix(s.Obj().Name(), "Write")
+			}
+		}
+		return false
+	}
+	// Package-qualified function: fmt print family.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")
+	}
+	return false
+}
+
+// calleeName renders the callee for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

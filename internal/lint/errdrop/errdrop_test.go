@@ -1,0 +1,24 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"abivm/internal/lint"
+	"abivm/internal/lint/errdrop"
+)
+
+func TestErrDropFixture(t *testing.T) {
+	lint.RunFixture(t, errdrop.Analyzer, "testdata/src/dropper")
+}
+
+func TestAppliesToInternalAndCmd(t *testing.T) {
+	applies := errdrop.Analyzer.AppliesTo
+	for _, path := range []string{"abivm/internal/storage", "abivm/cmd/abivm", "abivm/internal/lint/errdrop"} {
+		if !applies(path) {
+			t.Errorf("errdrop should apply to %s", path)
+		}
+	}
+	if applies("abivm") {
+		t.Error("errdrop should not apply to the public root package")
+	}
+}

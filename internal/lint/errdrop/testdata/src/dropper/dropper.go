@@ -1,0 +1,57 @@
+// Package dropper is an errdrop fixture.
+package dropper
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func valueAndError() (int, error) { return 0, nil }
+
+func ignoredCall() {
+	mayFail() // want "error result of mayFail is discarded"
+}
+
+func blankSingle() {
+	_ = mayFail() // want "assigned to _"
+}
+
+func blankTuple() int {
+	v, _ := valueAndError() // want "assigned to _"
+	return v
+}
+
+func deferred() {
+	defer mayFail() // want "defer error result of mayFail"
+}
+
+func handled() error {
+	// negative: both results are consumed.
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := valueAndError()
+	if err != nil {
+		return err
+	}
+	_ = v // negative: blank-assigning a non-error is fine
+	return nil
+}
+
+func allowlisted() string {
+	// negative: fmt print family and Builder writes are conventionally
+	// error-free.
+	fmt.Println("ok")
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}
+
+func suppressed() {
+	//lint:ignore errdrop best-effort cleanup on shutdown
+	mayFail()
+}

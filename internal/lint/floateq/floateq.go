@@ -1,0 +1,80 @@
+// Package floateq flags == and != between floating-point expressions in
+// the cost-bearing packages (costfn, costmodel, lgm, astar, policy, and
+// core itself). Costs there are accumulated float64 sums compared against
+// the response-time constraint C; exact equality on such values is almost
+// always a latent bug — two mathematically equal costs computed along
+// different summation orders differ in the last ulp. Comparisons must go
+// through the epsilon helpers core.ApproxEq / core.ApproxLE instead.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"abivm/internal/lint"
+)
+
+// costPackages are the package basenames whose float comparisons the
+// driver scrutinizes.
+var costPackages = map[string]bool{
+	"core":      true,
+	"costfn":    true,
+	"costmodel": true,
+	"lgm":       true,
+	"astar":     true,
+	"policy":    true,
+}
+
+// Analyzer is the floateq check.
+var Analyzer = &lint.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= between floating-point expressions in cost-bearing " +
+		"packages; use core.ApproxEq/ApproxLE instead",
+	AppliesTo: func(pkgPath string) bool {
+		return costPackages[pkgPath[strings.LastIndex(pkgPath, "/")+1:]]
+	},
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	info := pass.Pkg.TypesInfo
+	lint.InspectFuncDecls(pass.Pkg, func(_ *ast.File, decl *ast.FuncDecl) {
+		// The epsilon helpers themselves are the approved home of raw
+		// float comparisons.
+		if strings.HasPrefix(strings.ToLower(decl.Name.Name), "approx") {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(info, be.X) && !isFloat(info, be.Y) {
+				return true
+			}
+			// Two compile-time constants compare exactly by definition.
+			if isConst(info, be.X) && isConst(info, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "%s between float64 expressions; use core.ApproxEq/ApproxLE (or restructure the comparison)", be.Op)
+			return true
+		})
+	})
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

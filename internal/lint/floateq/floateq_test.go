@@ -1,0 +1,29 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"abivm/internal/lint"
+	"abivm/internal/lint/floateq"
+)
+
+func TestFloatEqFixture(t *testing.T) {
+	lint.RunFixture(t, floateq.Analyzer, "testdata/src/costcode")
+}
+
+func TestAppliesToCostPackages(t *testing.T) {
+	applies := floateq.Analyzer.AppliesTo
+	for _, path := range []string{
+		"abivm/internal/costfn", "abivm/internal/costmodel", "abivm/internal/lgm",
+		"abivm/internal/astar", "abivm/internal/policy", "abivm/internal/core",
+	} {
+		if !applies(path) {
+			t.Errorf("floateq should apply to %s", path)
+		}
+	}
+	for _, path := range []string{"abivm", "abivm/internal/storage", "abivm/internal/sim"} {
+		if applies(path) {
+			t.Errorf("floateq should not apply to %s", path)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Package costcode is a floateq fixture standing in for a cost-bearing
+// package.
+package costcode
+
+func eq(a, b float64) bool {
+	return a == b // want "== between float64"
+}
+
+func neq(a, b float64) bool {
+	return a != b // want "!= between float64"
+}
+
+func mixedOperand(a float64, b int) bool {
+	return a == float64(b) // want "== between float64"
+}
+
+func zeroCompare(cost float64) bool {
+	return cost != 0 // want "!= between float64"
+}
+
+func intCompare(a, b int) bool {
+	return a == b // negative: ints compare exactly
+}
+
+func constCompare() bool {
+	return 1.5 == 3.0/2.0 // negative: both compile-time constants
+}
+
+func ordered(a, b float64) bool {
+	return a <= b // negative: ordering comparisons are fine
+}
+
+// ApproxEq is the approved epsilon helper shape; raw comparisons inside
+// it are the point.
+func ApproxEq(a, b float64) bool {
+	return a == b // negative: approx helpers are exempt
+}
+
+func suppressed(a float64) bool {
+	//lint:ignore floateq the contract requires an exact zero
+	return a == 0
+}

@@ -1,0 +1,182 @@
+// Package lint is a minimal, dependency-free static-analysis framework
+// for the abivm tree. It mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / diagnostics) but is built entirely on the standard
+// library (go/parser + go/types), so the module keeps its zero-dependency,
+// offline-buildable property.
+//
+// Analyzers check invariants the compiler cannot see — core.Vector
+// aliasing, float64 equality in cost-bearing code, dropped errors, and
+// undocumented panics — and are wired together by cmd/abivmlint.
+//
+// A finding can be suppressed with a directive comment on the offending
+// line or the line directly above it:
+//
+//	//lint:ignore vecalias the callee owns the vector by contract
+//
+// The first field after "ignore" is a comma-separated list of analyzer
+// names ("*" matches every analyzer); the rest of the line is a mandatory
+// justification.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and ignore directives.
+	Name string
+	// Doc is a one-paragraph description shown by abivmlint -list.
+	Doc string
+	// AppliesTo filters the packages the driver hands to Run; nil means
+	// every package. Tests bypass the filter and feed fixtures directly.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// All holds every loaded package, for whole-program analyses such as
+	// panicdoc's transitive panic propagation.
+	All []*Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies the analyzers to the packages, drops findings suppressed by
+// lint:ignore directives, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		if a.Run == nil {
+			return nil, fmt.Errorf("lint: analyzer %q has no Run function", a.Name)
+		}
+		for _, pkg := range pkgs {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, All: pkgs, findings: &findings}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	findings = suppressIgnored(pkgs, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreKey locates one lint:ignore directive.
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// suppressIgnored removes findings covered by a lint:ignore directive on
+// the same line or the line directly above.
+func suppressIgnored(pkgs []*Package, findings []Finding) []Finding {
+	ignores := map[ignoreKey][]string{} // position -> analyzer names
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					names, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := ignoreKey{pos.Filename, pos.Line}
+					ignores[k] = append(ignores[k], names...)
+				}
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return findings
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if ignoredAt(ignores, f.Pos.Filename, f.Pos.Line, f.Analyzer) ||
+			ignoredAt(ignores, f.Pos.Filename, f.Pos.Line-1, f.Analyzer) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+func ignoredAt(ignores map[ignoreKey][]string, file string, line int, analyzer string) bool {
+	for _, name := range ignores[ignoreKey{file, line}] {
+		if name == "*" || name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// parseIgnore recognizes "//lint:ignore name1,name2 justification" and
+// returns the analyzer names. Directives without a justification are not
+// honored, so every suppression carries its reason in the source.
+func parseIgnore(text string) ([]string, bool) {
+	const prefix = "//lint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // names + at least one word of justification
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// InspectFuncDecls walks every function declaration with a body in the
+// package — the shared entry point of the syntactic analyzers.
+func InspectFuncDecls(pkg *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, file := range pkg.Syntax {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(file, fd)
+			}
+		}
+	}
+}

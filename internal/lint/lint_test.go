@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//lint:ignore vecalias caller owns it", []string{"vecalias"}},
+		{"//lint:ignore vecalias,floateq shared reason", []string{"vecalias", "floateq"}},
+		{"//lint:ignore * blanket waiver with reason", []string{"*"}},
+		{"//lint:ignore vecalias", nil}, // missing justification: not honored
+		{"// lint:ignore vecalias reason", nil},
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		got, ok := parseIgnore(c.text)
+		if (c.want == nil) == ok {
+			t.Errorf("parseIgnore(%q) ok=%v, want %v", c.text, ok, c.want != nil)
+			continue
+		}
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("parseIgnore(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestLoaderTypeChecksModulePackages(t *testing.T) {
+	root, err := FindModRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/core", "./internal/lgm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || len(p.Syntax) == 0 {
+			t.Errorf("package %s not fully loaded", p.PkgPath)
+		}
+	}
+	// lgm sorts after core and must see core's Vector type through the
+	// module-local importer.
+	core, lgm := pkgs[0], pkgs[1]
+	if !strings.HasSuffix(core.PkgPath, "internal/core") || !strings.HasSuffix(lgm.PkgPath, "internal/lgm") {
+		t.Fatalf("unexpected package order: %s, %s", core.PkgPath, lgm.PkgPath)
+	}
+	if core.Types.Scope().Lookup("Vector") == nil {
+		t.Error("core.Vector not found in type-checked package")
+	}
+}
+
+func TestRunSortsAndSuppresses(t *testing.T) {
+	root, err := FindModRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportAll := &Analyzer{
+		Name: "everyline",
+		Doc:  "test analyzer reporting each file once",
+		Run: func(p *Pass) error {
+			for _, f := range p.Pkg.Syntax {
+				p.Reportf(f.Package, "package clause")
+			}
+			return nil
+		},
+	}
+	findings, err := Run(pkgs, []*Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != len(pkgs[0].Syntax) {
+		t.Fatalf("got %d findings, want %d", len(findings), len(pkgs[0].Syntax))
+	}
+	for i := 1; i < len(findings); i++ {
+		if findings[i].Pos.Filename < findings[i-1].Pos.Filename {
+			t.Fatal("findings not sorted by filename")
+		}
+	}
+	if base := filepath.Base(findings[0].Pos.Filename); !strings.HasSuffix(base, ".go") {
+		t.Errorf("finding position %q is not a Go file", base)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "x", Pos: token.Position{Filename: "a.go", Line: 3, Column: 7}, Message: "m"}
+	if got := f.String(); got != "a.go:3:7: [x] m" {
+		t.Errorf("Finding.String() = %q", got)
+	}
+}

@@ -1,0 +1,220 @@
+// Package panicdoc flags exported functions of the public abivm package
+// and of internal/core that can reach a panic call — directly or through
+// static calls into other module packages — without the word "panic"
+// appearing in their doc comment. Callers of the public surface must be
+// able to tell, from the documentation alone, which entry points can blow
+// up on malformed input (length-mismatched vectors, oversized instances)
+// and which return errors.
+//
+// The reachability analysis is intra-module and static: calls through
+// interfaces or function values, and panics inside the standard library,
+// are not tracked. A function whose body installs a deferred recover() is
+// treated as non-panicking and stops propagation.
+package panicdoc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"abivm/internal/lint"
+)
+
+// Analyzer is the panicdoc check.
+var Analyzer = &lint.Analyzer{
+	Name: "panicdoc",
+	Doc: "flags exported functions in abivm and internal/core that can reach " +
+		"panic without a \"panics\" mention in their doc comment",
+	AppliesTo: func(pkgPath string) bool {
+		return !strings.Contains(pkgPath, "/") || strings.HasSuffix(pkgPath, "/internal/core")
+	},
+	Run: run,
+}
+
+// funcFacts summarizes one function declaration for the reachability
+// fixpoint.
+type funcFacts struct {
+	decl     *ast.FuncDecl
+	panics   bool // contains a direct call to the panic builtin
+	recovers bool // installs a deferred recover()
+	callees  []*types.Func
+}
+
+func run(pass *lint.Pass) error {
+	facts := map[*types.Func]*funcFacts{}
+	for _, pkg := range pass.All {
+		collect(pkg, facts)
+	}
+	// Ensure the current package is covered even when the driver passed a
+	// single fixture package not included in All.
+	collect(pass.Pkg, facts)
+
+	panicky := solve(facts)
+
+	for _, file := range pass.Pkg.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedAPI(pass.Pkg.TypesInfo, fd) {
+				continue
+			}
+			fn, ok := pass.Pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !panicky[fn] {
+				continue
+			}
+			if docMentionsPanic(fd.Doc) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(), "exported %s can reach panic but its doc comment does not mention it; add a \"panics if ...\" sentence", describe(fd))
+		}
+	}
+	return nil
+}
+
+// collect gathers per-function facts for one package.
+func collect(pkg *lint.Package, facts map[*types.Func]*funcFacts) {
+	info := pkg.TypesInfo
+	lint.InspectFuncDecls(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		fn, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		if _, seen := facts[fn]; seen {
+			return
+		}
+		f := &funcFacts{decl: fd}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if deferInstallsRecover(info, n) {
+					f.recovers = true
+				}
+			case *ast.CallExpr:
+				if isBuiltin(info, n.Fun, "panic") {
+					f.panics = true
+				} else if callee := staticCallee(info, n); callee != nil {
+					f.callees = append(f.callees, callee)
+				}
+			}
+			return true
+		})
+		facts[fn] = f
+	})
+}
+
+// solve propagates panickiness along static call edges to a fixed point.
+// recover() acts as a barrier: a recovering function neither reports nor
+// propagates panics of its callees.
+func solve(facts map[*types.Func]*funcFacts) map[*types.Func]bool {
+	panicky := map[*types.Func]bool{}
+	for fn, f := range facts {
+		if f.panics && !f.recovers {
+			panicky[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, f := range facts {
+			if panicky[fn] || f.recovers {
+				continue
+			}
+			for _, callee := range f.callees {
+				if panicky[callee] {
+					panicky[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return panicky
+}
+
+// exportedAPI reports whether fd is part of the package's exported
+// surface: an exported function, or an exported method on an exported
+// receiver type.
+func exportedAPI(info *types.Info, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil {
+		return true
+	}
+	recv := fd.Recv.List[0].Type
+	for {
+		switch t := recv.(type) {
+		case *ast.StarExpr:
+			recv = t.X
+		case *ast.IndexExpr: // generic receiver
+			recv = t.X
+		case *ast.Ident:
+			return t.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func docMentionsPanic(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.Contains(strings.ToLower(doc.Text()), "panic")
+}
+
+func describe(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "method " + fd.Name.Name
+	}
+	return "function " + fd.Name.Name
+}
+
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// deferInstallsRecover recognizes both "defer recover()" and
+// "defer func() { ... recover() ... }()".
+func deferInstallsRecover(info *types.Info, d *ast.DeferStmt) bool {
+	if isBuiltin(info, d.Call.Fun, "recover") {
+		return true
+	}
+	lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(info, call.Fun, "recover") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// staticCallee resolves a call to a statically known *types.Func:
+// package-level functions and concrete method calls. Interface dispatch
+// and function values return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// Interface methods have no body to analyze; returning
+				// them is harmless (no facts => never panicky).
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package panicdoc_test
+
+import (
+	"testing"
+
+	"abivm/internal/lint"
+	"abivm/internal/lint/panicdoc"
+)
+
+func TestPanicDocFixture(t *testing.T) {
+	lint.RunFixture(t, panicdoc.Analyzer, "testdata/src/panicky")
+}
+
+func TestAppliesToPublicSurface(t *testing.T) {
+	applies := panicdoc.Analyzer.AppliesTo
+	if !applies("abivm") || !applies("abivm/internal/core") {
+		t.Error("panicdoc should apply to abivm and abivm/internal/core")
+	}
+	for _, path := range []string{"abivm/internal/policy", "abivm/cmd/abivm"} {
+		if applies(path) {
+			t.Errorf("panicdoc should not apply to %s", path)
+		}
+	}
+}

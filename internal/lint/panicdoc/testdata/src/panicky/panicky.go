@@ -1,0 +1,58 @@
+// Package panicky is a panicdoc fixture.
+package panicky
+
+// Boom explodes unconditionally.
+func Boom() { // want "exported function Boom can reach panic"
+	panic("boom")
+}
+
+// Documented panics if called; the mention satisfies the check.
+func Documented() {
+	panic("documented")
+}
+
+// Indirect delegates to an unexported helper.
+func Indirect() { // want "exported function Indirect can reach panic"
+	helper()
+}
+
+// TwoHops delegates through two static calls.
+func TwoHops() { // want "exported function TwoHops can reach panic"
+	middle()
+}
+
+func middle() { helper() }
+
+func helper() { panic("helper") }
+
+// Safe never reaches a panic call.
+func Safe() int {
+	return 1
+}
+
+// Recovered calls a panicking helper behind a deferred recover, so the
+// panic cannot escape.
+func Recovered() {
+	defer func() { _ = recover() }()
+	helper()
+}
+
+// Gadget is an exported receiver for the method cases.
+type Gadget struct{}
+
+// Hit trips the failure path.
+func (Gadget) Hit() { // want "exported method Hit can reach panic"
+	panic("hit")
+}
+
+// Miss panics if provoked — documented, so quiet.
+func (Gadget) Miss() {
+	panic("miss")
+}
+
+// Suppressed reaches the failure path but the site is explicitly waived.
+//
+//lint:ignore panicdoc unreachable by construction in this fixture
+func Suppressed() {
+	helper()
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the fixture package in dir (relative to the calling
+// test's working directory), applies the analyzer with its package filter
+// bypassed, and compares the findings against "want" expectations in the
+// fixture source. A line expecting diagnostics carries a trailing comment
+//
+//	x := p // want "stored" "second finding"
+//
+// where each quoted string must be a substring of exactly one diagnostic
+// reported on that line; diagnostics on lines without a matching want, and
+// wants without a matching diagnostic, fail the test. lint:ignore
+// directives are honored, so fixtures can also assert suppression.
+func RunFixture(t testing.TB, a *Analyzer, dir string) {
+	t.Helper()
+	modRoot, err := FindModRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "fixture/"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	unfiltered := *a
+	unfiltered.AppliesTo = nil
+	findings, err := Run([]*Package{pkg}, []*Analyzer{&unfiltered})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	checkExpectations(t, pkg, findings)
+}
+
+var wantRx = regexp.MustCompile(`//\s*want\s+(.+)$`)
+var wantArgRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// checkExpectations matches findings against want comments line by line.
+func checkExpectations(t testing.TB, pkg *Package, findings []Finding) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, arg := range wantArgRx.FindAllStringSubmatch(m[1], -1) {
+					wants[k] = append(wants[k], arg[1])
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		matched := -1
+		for i, w := range wants[k] {
+			if strings.Contains(f.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, remaining := range wants {
+		for _, w := range remaining {
+			t.Errorf("missing diagnostic at %s:%d: want message containing %q", filepath.Base(k.file), k.line, w)
+		}
+	}
+}
+
+// FindModRoot walks up from the working directory to the enclosing
+// go.mod, so fixture tests work from any package directory.
+func FindModRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,81 @@
+// Package vec is a vecalias fixture: every "want" line is a positive
+// case; the remaining functions document the negative space (clones,
+// local closures, value appends) that must stay quiet.
+package vec
+
+import "abivm/internal/core"
+
+type holder struct{ v core.Vector }
+
+var global core.Vector
+
+func storeField(h *holder, p core.Vector) {
+	h.v = p // want "stored in a field"
+}
+
+func storeFieldClone(h *holder, p core.Vector) {
+	h.v = p.Clone() // negative: clone breaks the alias
+}
+
+func storeMap(m map[string]core.Vector, p core.Vector) {
+	m["k"] = p // want "map or slice element"
+}
+
+func storeGlobal(p core.Vector) {
+	global = p // want "package variable"
+}
+
+func ret(p core.Vector) core.Vector {
+	return p // want "returned without Clone"
+}
+
+func retClone(p core.Vector) core.Vector {
+	return p.Clone() // negative
+}
+
+func retSlice(p core.Vector) core.Vector {
+	return p[1:] // want "returned without Clone"
+}
+
+func appendVec(dst []core.Vector, p core.Vector) []core.Vector {
+	return append(dst, p) // want "appended to a slice"
+}
+
+func appendValues(p core.Vector) int {
+	// negative: append(ints, p...) copies the int values, no aliasing.
+	tmp := append([]int{}, p...)
+	return len(tmp)
+}
+
+func escapeClosure(p core.Vector) func() int {
+	return func() int { return p[0] } // want "captured by an escaping closure"
+}
+
+func localClosure(p core.Vector) int {
+	// negative: the closure never outlives the call.
+	f := func() int { return p[0] }
+	return f()
+}
+
+func viaAlias(h *holder, p core.Vector) {
+	q := p
+	h.v = q // want "stored in a field"
+}
+
+func compositeLit(p core.Vector) *holder {
+	return &holder{v: p} // want "composite literal"
+}
+
+func readOnly(p core.Vector) int {
+	// negative: reads and element writes do not retain the header.
+	s := 0
+	for _, x := range p {
+		s += x
+	}
+	return s
+}
+
+func suppressed(h *holder, p core.Vector) {
+	//lint:ignore vecalias the caller transfers ownership by contract
+	h.v = p
+}

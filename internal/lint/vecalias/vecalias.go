@@ -1,0 +1,270 @@
+// Package vecalias flags functions that retain a core.Vector parameter
+// without cloning it. core.Vector is a bare []int, so storing a parameter
+// in a struct field, map, slice, package variable, or escaping closure —
+// or returning it — aliases the caller's backing array; a later in-place
+// update (AddInPlace, SubInPlace) then silently corrupts state the caller
+// believed was private. This is exactly the bug class that corrupts
+// lazy-plan states, so retention must go through Clone().
+package vecalias
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"abivm/internal/lint"
+)
+
+// Analyzer is the vecalias check.
+var Analyzer = &lint.Analyzer{
+	Name: "vecalias",
+	Doc: "flags core.Vector parameters that are stored, returned, or captured " +
+		"by an escaping closure without a Clone() call",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	lint.InspectFuncDecls(pass.Pkg, func(_ *ast.File, decl *ast.FuncDecl) {
+		checkFunc(pass, decl)
+	})
+	return nil
+}
+
+// isCoreVector reports whether t is the named type Vector from the
+// internal/core package (directly, not types merely sharing []int).
+func isCoreVector(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Vector" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/core" || strings.HasSuffix(path, "/internal/core")
+}
+
+func checkFunc(pass *lint.Pass, decl *ast.FuncDecl) {
+	info := pass.Pkg.TypesInfo
+
+	// origin maps every object aliasing a Vector parameter to the
+	// parameter's name (for diagnostics). Seed with the parameters.
+	origin := map[types.Object]string{}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isCoreVector(obj.Type()) {
+				origin[obj] = name.Name
+			}
+		}
+	}
+	if len(origin) == 0 {
+		return
+	}
+
+	// aliasOf resolves an expression to the parameter it aliases, seeing
+	// through parentheses and re-slicing (p[1:] shares p's array).
+	var aliasOf func(e ast.Expr) (string, bool)
+	aliasOf = func(e ast.Expr) (string, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			name, ok := origin[info.Uses[e]]
+			return name, ok
+		case *ast.SliceExpr:
+			return aliasOf(e.X)
+		}
+		return "", false
+	}
+
+	// Propagate aliasing through plain assignments (q := p, q = p,
+	// q := p[1:], q := append(p, ...)) until a fixed point: retention of
+	// a first-degree alias is just as corrupting as of the parameter.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				name, ok := aliasOrAppendAlias(aliasOf, rhs)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || !isLocalVar(obj) {
+					continue
+				}
+				if _, seen := origin[obj]; !seen {
+					origin[obj] = name
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	escaping := escapingFuncLits(decl.Body)
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				name, ok := aliasOf(rhs)
+				if !ok {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(rhs.Pos(), "core.Vector parameter %q is stored in a field without Clone()", name)
+				case *ast.IndexExpr:
+					pass.Reportf(rhs.Pos(), "core.Vector parameter %q is stored in a map or slice element without Clone()", name)
+				case *ast.StarExpr:
+					pass.Reportf(rhs.Pos(), "core.Vector parameter %q is stored through a pointer without Clone()", name)
+				case *ast.Ident:
+					if obj := info.Uses[lhs]; obj != nil && isPkgLevelVar(obj) {
+						pass.Reportf(rhs.Pos(), "core.Vector parameter %q is stored in package variable %s without Clone()", name, lhs.Name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if name, ok := aliasOf(res); ok {
+					pass.Reportf(res.Pos(), "core.Vector parameter %q is returned without Clone()", name)
+				}
+			}
+		case *ast.CallExpr:
+			// append(dst, p) retains the slice header when the element
+			// type is core.Vector; append(ints, p...) copies values and
+			// is safe.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && !n.Ellipsis.IsValid() {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, arg := range n.Args[1:] {
+						if name, ok := aliasOf(arg); ok {
+							pass.Reportf(arg.Pos(), "core.Vector parameter %q is appended to a slice without Clone()", name)
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if name, ok := aliasOf(val); ok {
+					pass.Reportf(val.Pos(), "core.Vector parameter %q is stored in a composite literal without Clone()", name)
+				}
+			}
+		case *ast.FuncLit:
+			if !escaping[n] {
+				return true
+			}
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				id, ok := inner.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if name, tracked := origin[info.Uses[id]]; tracked {
+					pass.Reportf(id.Pos(), "core.Vector parameter %q is captured by an escaping closure without Clone()", name)
+				}
+				return true
+			})
+			return false // inner findings reported above; don't descend twice
+		}
+		return true
+	})
+}
+
+// aliasOrAppendAlias additionally sees through append(p, ...) on the
+// right-hand side of an assignment: the result may share p's array.
+func aliasOrAppendAlias(aliasOf func(ast.Expr) (string, bool), e ast.Expr) (string, bool) {
+	if name, ok := aliasOf(e); ok {
+		return name, ok
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && len(call.Args) > 0 {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			return aliasOf(call.Args[0])
+		}
+	}
+	return "", false
+}
+
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() != nil && v.Parent() != v.Pkg().Scope()
+}
+
+func isPkgLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() == v.Pkg().Scope()
+}
+
+// escapingFuncLits returns the function literals that may outlive the
+// enclosing call: literals that are returned, stored into a field, map,
+// slice, pointer, or package variable, placed in a composite literal, or
+// passed as an argument to another function. A literal only assigned to a
+// local and invoked locally cannot retain the parameter past the call, so
+// capturing there is fine.
+func escapingFuncLits(body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	out := map[*ast.FuncLit]bool{}
+	litIn := func(e ast.Expr) *ast.FuncLit {
+		lit, _ := ast.Unparen(e).(*ast.FuncLit)
+		return lit
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if lit := litIn(res); lit != nil {
+					out[lit] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				lit := litIn(rhs)
+				if lit == nil {
+					continue
+				}
+				switch ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					out[lit] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if lit := litIn(val); lit != nil {
+					out[lit] = true
+				}
+			}
+		case *ast.CallExpr:
+			// A literal passed as an argument escapes to the callee; a
+			// literal that *is* the callee is invoked immediately.
+			for _, arg := range n.Args {
+				if lit := litIn(arg); lit != nil {
+					out[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package vecalias_test
+
+import (
+	"testing"
+
+	"abivm/internal/lint"
+	"abivm/internal/lint/vecalias"
+)
+
+func TestVecAliasFixture(t *testing.T) {
+	lint.RunFixture(t, vecalias.Analyzer, "testdata/src/vec")
+}

@@ -129,7 +129,7 @@ func (p *Online) Act(t int, d, pre core.Vector, refresh bool) core.Vector {
 	bestH := 0.0
 	for _, q := range candidates {
 		h := p.scoreH(t, pre, q)
-		if best == nil || h < bestH || (h == bestH && q.Key() < best.Key()) {
+		if best == nil || h < bestH || (core.ApproxEq(h, bestH) && q.Key() < best.Key()) {
 			best, bestH = q, h
 		}
 	}
@@ -156,7 +156,7 @@ func (p *Online) timeToFull(s core.Vector) int {
 			expect := base + int(rates[i]*float64(k)+0.5)
 			total += p.model.TableCost(i, expect)
 		}
-		return total > p.c
+		return !core.ApproxLE(total, p.c)
 	}
 	if !fullAfter(ttfHorizon) {
 		return ttfHorizon

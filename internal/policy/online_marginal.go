@@ -55,7 +55,7 @@ func (p *OnlineMarginal) Act(t int, d, pre core.Vector, refresh bool) core.Vecto
 	for _, q := range candidates {
 		ttf := p.inner.timeToFull(pre.Sub(q))
 		score := p.model.Total(q) / float64(ttf)
-		if best == nil || score < bestScore || (score == bestScore && q.Key() < best.Key()) {
+		if best == nil || score < bestScore || (core.ApproxEq(score, bestScore) && q.Key() < best.Key()) {
 			best, bestScore = q, score
 		}
 	}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full verification gate: vet, domain lint, build, race-enabled tests.
+# This is what `make verify` and CI run; it must pass before merging.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> abivmlint"
+go run ./cmd/abivmlint ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "OK"
