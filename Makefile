@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet verify
+.PHONY: build test race lint vet verify bench bench-quick
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,12 @@ vet:
 # verify is the merge gate: everything CI runs, in one command.
 verify:
 	sh scripts/check.sh
+
+# bench records a full benchmark run into BENCH_<date>.json; set
+# LABEL=name to tag it (e.g. LABEL=optimized).
+bench:
+	sh scripts/bench.sh -label "$(or $(LABEL),local)"
+
+# bench-quick is the CI smoke: one iteration of the headline benches.
+bench-quick:
+	sh scripts/bench.sh -quick -label quick

@@ -1,0 +1,174 @@
+// Command benchjson converts `go test -bench` output into a structured
+// JSON record and merges it into a benchmark-history file, giving the
+// repo a recorded perf trajectory that survives across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -label baseline -out BENCH_2026-08-06.json
+//
+// Each invocation appends one labeled run (or replaces the run with the
+// same label, so re-recording is idempotent). Standard benchmark metrics
+// (ns/op, B/op, allocs/op) and custom b.ReportMetric units are all kept.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Run is one labeled invocation of the suite.
+type Run struct {
+	Label      string   `json:"label"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// File is the on-disk history: one file, many runs.
+type File struct {
+	Schema int   `json:"schema"`
+	Runs   []Run `json:"runs"`
+}
+
+func main() {
+	label := flag.String("label", "local", "label for this run (baseline, optimized, ci-quick, ...)")
+	out := flag.String("out", "", "history file to merge into (required)")
+	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "date stamp for the run")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+	run, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	run.Label = *label
+	run.Date = *date
+	run.GoVersion = runtime.Version()
+	run.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	if err := merge(*out, run); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d results as %q in %s\n", len(run.Results), *label, *out)
+}
+
+// parse reads `go test -bench` output and collects benchmark lines,
+// tracking the goos/goarch/cpu/pkg header lines as they appear.
+func parse(src *os.File) (*Run, error) {
+	run := &Run{}
+	pkg := ""
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			run.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			run.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			run.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(pkg, line)
+		if ok {
+			run.Results = append(run.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(run.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return run, nil
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   10 allocs/op   1.5 extra/unit
+func parseLine(pkg, line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix; it is recorded once per run instead.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Pkg: pkg, Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}
+
+// merge loads the history file (if any), replaces or appends the run by
+// label, and writes the file back.
+func merge(path string, run *Run) error {
+	hist := &File{Schema: 1}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, hist); err != nil {
+			return fmt.Errorf("existing %s is not valid benchjson output: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	replaced := false
+	for i := range hist.Runs {
+		if hist.Runs[i].Label == run.Label {
+			hist.Runs[i] = *run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		hist.Runs = append(hist.Runs, *run)
+	}
+	data, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
