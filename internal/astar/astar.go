@@ -29,12 +29,19 @@
 // a closed-list A* could return suboptimal plans. M_i dominates the
 // paper's bound wherever the latter is valid (e.g. linear costs), so this
 // is a strict strengthening, not a behavioural change.
+//
+// The implementation keeps the search allocation-lean: nodes are keyed by
+// a fixed-size comparable (t, state) packing instead of formatted strings,
+// the heuristic value is computed once per node and cached on its queue
+// entry, and the state/action vectors that flow through expansion are
+// drawn from a per-search free list once the search provably owns them.
 package astar
 
 import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 
 	"abivm/internal/core"
 )
@@ -68,20 +75,45 @@ type Result struct {
 // destination is reached.
 var ErrBudgetExceeded = errors.New("astar: expansion budget exceeded")
 
-// node identifies a search state: the post-action state right after an
-// action taken at time t. The source has t == -1 and a zero state; the
-// destination has t == T and a zero state.
-type node struct {
-	t     int
-	state core.Vector
+// maxKeyTables bounds the instance arity the packed node key supports.
+// It mirrors core's greedy-action enumeration cap (the paper has n <= 5;
+// expansion would refuse larger instances anyway), so packing states
+// into a fixed-size array loses no generality.
+const maxKeyTables = 20
+
+// nodeKey identifies a search state — the post-action state right after
+// an action taken at time t — as a comparable value usable directly as a
+// map key. The source has t == -1 and a zero state; the destination has
+// t == T and a zero state. Components beyond the instance arity stay
+// zero and never influence equality.
+type nodeKey struct {
+	t int32
+	s [maxKeyTables]int32
 }
 
-func (n node) key() string { return fmt.Sprintf("%d|%s", n.t, n.state.Key()) }
+// stateLess orders keys by state components, lexicographically; used
+// only as the final determinism tie-break in the priority queue.
+func (k nodeKey) stateLess(o nodeKey) bool {
+	for i := range k.s {
+		if k.s[i] != o.s[i] {
+			return k.s[i] < o.s[i]
+		}
+	}
+	return false
+}
 
-// pqItem is a priority-queue entry.
+// pqItem is a priority-queue entry for one open node.
 type pqItem struct {
-	n     node
+	t     int
+	state core.Vector
+	key   nodeKey
 	g     float64 // best known path cost from source
+	// h is the heuristic value of the node, computed once when the node
+	// is first generated. h depends only on (t, state) — never on the
+	// path — so a decrease-key must reuse it rather than re-evaluate;
+	// recomputing was pure waste on the old hot path, and caching is
+	// behaviour-neutral (see TestHeuristicCachePure).
+	h     float64
 	d     float64 // g + h
 	index int
 }
@@ -90,18 +122,16 @@ type priorityQueue []*pqItem
 
 func (pq priorityQueue) Len() int { return len(pq) }
 func (pq priorityQueue) Less(i, j int) bool {
-	if pq[i].d < pq[j].d {
-		return true
+	//lint:ignore floateq heap ordering must be a strict weak order; epsilon comparisons are not transitive
+	if pq[i].d != pq[j].d {
+		return pq[i].d < pq[j].d
 	}
-	if pq[i].d > pq[j].d {
-		return false
+	// Tie-break on later time to reach the destination sooner; then on
+	// the packed state for determinism.
+	if pq[i].t != pq[j].t {
+		return pq[i].t > pq[j].t
 	}
-	// Tie-break on later time to reach the destination sooner; then on key
-	// for determinism.
-	if pq[i].n.t != pq[j].n.t {
-		return pq[i].n.t > pq[j].n.t
-	}
-	return pq[i].n.state.Key() < pq[j].n.state.Key()
+	return pq[i].key.stateLess(pq[j].key)
 }
 func (pq priorityQueue) Swap(i, j int) {
 	pq[i], pq[j] = pq[j], pq[i]
@@ -194,19 +224,50 @@ func newTableLB(f core.CostFunc, maxBatch, limit int) *tableLB {
 	return lb
 }
 
-// searcher holds the per-search immutable context.
+// searcher holds the per-search context: the immutable instance data,
+// the open/closed bookkeeping, and the reusable scratch buffers. A
+// searcher serves exactly one Search call and is not goroutine-safe.
 type searcher struct {
 	in     *core.Instance
 	opts   Options
-	prefix []core.Vector // prefix[t] = Σ_{u<=t} d_u
+	prefix []core.Vector // prefix[t] = Σ_{u<=t} d_u, views into one backing array
 	suffix []core.Vector // suffix[t][i] = table-i arrivals strictly after t
+	totals core.Vector   // total arrivals per table (the t == -1 suffix)
 	lbs    []*tableLB    // per-table heuristic lower bounds
+
+	open    priorityQueue
+	items   map[nodeKey]*pqItem
+	parents map[nodeKey]parentLink
+	closed  map[nodeKey]struct{}
+
+	// Scratch buffers: accScratch backs the fullness probes of nextFull,
+	// preScratch the accumulated pre-action state of the node being
+	// expanded, actionsBuf the greedy action list, actScratch the
+	// enumeration buffers inside core.
+	accScratch core.Vector
+	preScratch core.Vector
+	actionsBuf []core.Vector
+	actScratch core.ActionScratch
+
+	// vecFree and itemFree recycle state/action vectors and queue items
+	// the search has exclusive ownership of (see putVec).
+	vecFree  []core.Vector
+	itemFree []*pqItem
+}
+
+// parentLink records how a node was best reached, for plan reconstruction.
+type parentLink struct {
+	from   nodeKey
+	action core.Vector
+	t      int // time the action was applied (== child node's t)
 }
 
 // Search finds an optimal LGM plan for the instance. It assumes perfect
 // knowledge of the arrival sequence and the refresh time T (the oracle
 // setting of the paper); the policy package adapts its output to unknown
-// refresh times.
+// refresh times. It panics if the instance has more than 20 tables or
+// per-table arrival totals beyond the packed-key range (the paper's n is
+// at most 5 and states are bounded by total arrivals).
 func Search(in *core.Instance, opts Options) (*Result, error) {
 	s := newSearcher(in, opts)
 	return s.run()
@@ -214,42 +275,62 @@ func Search(in *core.Instance, opts Options) (*Result, error) {
 
 func newSearcher(in *core.Instance, opts Options) *searcher {
 	n := in.N()
+	if n > maxKeyTables {
+		panic(fmt.Sprintf("astar: %d tables exceeds the packed-key cap %d", n, maxKeyTables))
+	}
 	tEnd := in.T()
+	// prefix sums share one backing array: T+1 header views, 1 allocation.
 	prefix := make([]core.Vector, tEnd+1)
+	backing := make(core.Vector, (tEnd+1)*n)
 	running := core.NewVector(n)
 	for t := 0; t <= tEnd; t++ {
 		running.AddInPlace(in.Arrivals[t])
-		prefix[t] = running.Clone()
+		prefix[t] = backing[t*n : (t+1)*n]
+		copy(prefix[t], running)
 	}
 	s := &searcher{
-		in:     in,
-		opts:   opts,
-		prefix: prefix,
-		suffix: in.Arrivals.SuffixTotals(),
-		lbs:    make([]*tableLB, n),
+		in:         in,
+		opts:       opts,
+		prefix:     prefix,
+		suffix:     in.Arrivals.SuffixTotals(),
+		totals:     in.Arrivals.TotalPerTable(),
+		lbs:        make([]*tableLB, n),
+		items:      map[nodeKey]*pqItem{},
+		parents:    map[nodeKey]parentLink{},
+		closed:     map[nodeKey]struct{}{},
+		accScratch: core.NewVector(n),
+		preScratch: core.NewVector(n),
 	}
 	maxStep := in.Arrivals.MaxPerStep()
-	totals := in.Arrivals.TotalPerTable()
 	for i := 0; i < n; i++ {
+		if s.totals[i] > math.MaxInt32 {
+			panic(fmt.Sprintf("astar: table %d total arrivals %d exceed the packed-key range", i, s.totals[i]))
+		}
 		if opts.DisableHeuristic {
 			s.lbs[i] = &tableLB{}
 			continue
 		}
 		b := maxStep[i] + in.Model.MaxBatch(i, in.C)
-		s.lbs[i] = newTableLB(in.Model.Func(i), b, totals[i])
+		s.lbs[i] = newTableLB(in.Model.Func(i), b, s.totals[i])
 	}
 	return s
 }
 
-// accumulated returns the state at time t2 given post-action state s at
-// time t1 < t2 with no actions in between: s + Σ_{t1 < u <= t2} d_u.
-func (s *searcher) accumulated(state core.Vector, t1, t2 int) core.Vector {
-	out := state.Clone()
-	out.AddInPlace(s.prefix[t2])
+// accumulateInto writes into dst the state at time t2 given post-action
+// state `state` at time t1 < t2 with no actions in between:
+// state + Σ_{t1 < u <= t2} d_u. dst and state may not alias.
+func (s *searcher) accumulateInto(dst, state core.Vector, t1, t2 int) {
+	p2 := s.prefix[t2]
 	if t1 >= 0 {
-		out.SubInPlace(s.prefix[t1])
+		p1 := s.prefix[t1]
+		for i := range dst {
+			dst[i] = state[i] + p2[i] - p1[i]
+		}
+		return
 	}
-	return out
+	for i := range dst {
+		dst[i] = state[i] + p2[i]
+	}
 }
 
 // nextFull returns the first time t2 in (t1, T] at which the accumulated
@@ -262,13 +343,15 @@ func (s *searcher) nextFull(state core.Vector, t1 int) int {
 	if lo > hi {
 		return tEnd + 1
 	}
-	if !s.in.Model.Full(s.accumulated(state, t1, hi), s.in.C) {
+	s.accumulateInto(s.accScratch, state, t1, hi)
+	if !s.in.Model.Full(s.accScratch, s.in.C) {
 		return tEnd + 1
 	}
 	// Invariant: state at hi is full; state before lo is unknown/not full.
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		if s.in.Model.Full(s.accumulated(state, t1, mid), s.in.C) {
+		s.accumulateInto(s.accScratch, state, t1, mid)
+		if s.in.Model.Full(s.accScratch, s.in.C) {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -277,135 +360,180 @@ func (s *searcher) nextFull(state core.Vector, t1 int) int {
 	return lo
 }
 
-// h evaluates the heuristic at a node.
-func (s *searcher) h(n node) float64 {
+// h evaluates the heuristic for a node. It is a pure function of
+// (t, state): callers cache its value per node (see pqItem.h).
+func (s *searcher) h(t int, state core.Vector) float64 {
 	if s.opts.DisableHeuristic {
 		return 0
 	}
 	var k core.Vector
-	if n.t < 0 {
-		k = s.in.Arrivals.TotalPerTable()
+	if t < 0 {
+		k = s.totals
 	} else {
-		k = s.suffix[n.t]
+		k = s.suffix[t]
 	}
 	total := 0.0
-	for i := range n.state {
-		total += s.lbs[i].at(n.state[i] + k[i])
+	for i := range state {
+		total += s.lbs[i].at(state[i] + k[i])
 	}
 	return total
 }
 
-// edge is one generated successor.
-type edge struct {
-	to     node
-	action core.Vector // action applied at to.t
-	weight float64
+// getVec returns a zeroed vector of instance arity, reusing the free
+// list when possible.
+func (s *searcher) getVec() core.Vector {
+	if k := len(s.vecFree); k > 0 {
+		v := s.vecFree[k-1]
+		s.vecFree = s.vecFree[:k-1]
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	return core.NewVector(s.in.N())
 }
 
-// expand generates the successors of n.
-func (s *searcher) expand(n node) []edge {
-	tEnd := s.in.T()
-	t2 := s.nextFull(n.state, n.t)
-	if t2 > tEnd {
-		// Never full again: the only remaining move is the refresh at T.
-		pre := s.accumulated(n.state, n.t, tEnd)
-		return []edge{{
-			to:     node{t: tEnd, state: core.NewVector(s.in.N())},
-			action: pre,
-			weight: s.in.Model.Total(pre),
-		}}
+// putVec hands v back to the free list. The caller vouches that the
+// search owns v exclusively: nothing reads it after this call, so a
+// later getVec may repurpose the backing array.
+func (s *searcher) putVec(v core.Vector) {
+	if v == nil {
+		return
 	}
-	pre := s.accumulated(n.state, n.t, t2)
-	if t2 == tEnd {
-		// Refresh coincides with the forced action: drain everything.
-		return []edge{{
-			to:     node{t: tEnd, state: core.NewVector(s.in.N())},
-			action: pre,
-			weight: s.in.Model.Total(pre),
-		}}
-	}
-	actions := core.GreedyActionSet(pre, s.in.Model, s.in.C, !s.opts.AllowNonMinimal)
-	out := make([]edge, 0, len(actions))
-	for _, q := range actions {
-		out = append(out, edge{
-			to:     node{t: t2, state: pre.Sub(q)},
-			action: q,
-			weight: s.in.Model.Total(q),
-		})
-	}
-	return out
+	//lint:ignore vecalias ownership transfers to the free list by the putVec contract
+	s.vecFree = append(s.vecFree, v)
 }
 
-// parentLink records how a node was best reached, for plan reconstruction.
-type parentLink struct {
-	from   string
-	action core.Vector
-	t      int // time the action was applied (== child node's t)
+// getItem returns a queue entry, reusing popped-and-expanded ones.
+func (s *searcher) getItem() *pqItem {
+	if k := len(s.itemFree); k > 0 {
+		it := s.itemFree[k-1]
+		s.itemFree = s.itemFree[:k-1]
+		return it
+	}
+	return &pqItem{}
+}
+
+// recycleItem reclaims an expanded queue entry and its state vector.
+func (s *searcher) recycleItem(it *pqItem) {
+	s.putVec(it.state)
+	it.state = nil
+	s.itemFree = append(s.itemFree, it)
 }
 
 func (s *searcher) run() (*Result, error) {
 	tEnd := s.in.T()
-	source := node{t: -1, state: core.NewVector(s.in.N())}
-	destKey := node{t: tEnd, state: core.NewVector(s.in.N())}.key()
+	destKey := nodeKey{t: int32(tEnd)}
 
-	open := &priorityQueue{}
-	heap.Init(open)
-	items := map[string]*pqItem{}
-	parents := map[string]parentLink{}
-	closed := map[string]node{}
+	// Source: t == -1, zero state.
+	src := s.getItem()
+	*src = pqItem{t: -1, state: s.getVec(), key: nodeKey{t: -1}}
+	src.h = s.h(src.t, src.state)
+	src.d = src.h
+	s.items[src.key] = src
+	heap.Push(&s.open, src)
 
-	push := func(n node, g float64) {
-		k := n.key()
-		if it, ok := items[k]; ok {
-			if g < it.g {
-				it.g = g
-				it.d = g + s.h(n)
-				heap.Fix(open, it.index)
-			}
-			return
-		}
-		it := &pqItem{n: n, g: g, d: g + s.h(n)}
-		items[k] = it
-		heap.Push(open, it)
-	}
-
-	push(source, 0)
 	res := &Result{}
-	for open.Len() > 0 {
-		it := heap.Pop(open).(*pqItem)
-		k := it.n.key()
-		delete(items, k)
-		if _, done := closed[k]; done {
+	for s.open.Len() > 0 {
+		it := heap.Pop(&s.open).(*pqItem)
+		delete(s.items, it.key)
+		// Decrease-key goes through heap.Fix on the live entry, so a
+		// popped item is never stale; the closed check is a defensive
+		// invariant only.
+		if _, done := s.closed[it.key]; done {
+			s.recycleItem(it)
 			continue
 		}
-		closed[k] = it.n
+		s.closed[it.key] = struct{}{}
 		res.Expanded++
 		if s.opts.MaxExpansions > 0 && res.Expanded > s.opts.MaxExpansions {
 			return nil, ErrBudgetExceeded
 		}
-		if k == destKey {
+		if it.key == destKey {
 			res.Cost = it.g
-			res.Plan = s.reconstruct(parents, k)
+			res.Plan = s.reconstruct(destKey)
 			return res, nil
 		}
-		for _, e := range s.expand(it.n) {
-			ck := e.to.key()
-			if _, done := closed[ck]; done {
-				continue
-			}
-			res.Generated++
-			g := it.g + e.weight
-			if existing, ok := items[ck]; !ok || g < existing.g {
-				parents[ck] = parentLink{from: k, action: e.action, t: e.to.t}
-			}
-			push(e.to, g)
-		}
+		s.expand(it, res)
+		s.recycleItem(it)
 	}
 	return nil, errors.New("astar: destination unreachable (internal invariant violated)")
 }
 
+// expand generates the successors of the node held by it and relaxes
+// each resulting edge.
+func (s *searcher) expand(it *pqItem, res *Result) {
+	tEnd := s.in.T()
+	t2 := s.nextFull(it.state, it.t)
+	if t2 >= tEnd {
+		// Either the state never fills again (the only remaining move is
+		// the refresh at T) or fullness first strikes exactly at T (the
+		// refresh drains everything): one edge to the destination whose
+		// action is the whole accumulated backlog.
+		s.accumulateInto(s.preScratch, it.state, it.t, tEnd)
+		action := s.getVec()
+		copy(action, s.preScratch)
+		s.relax(it, tEnd, nil, action, s.in.Model.Total(action), res)
+		return
+	}
+	s.accumulateInto(s.preScratch, it.state, it.t, t2)
+	s.actionsBuf = s.actScratch.AppendGreedyActions(s.actionsBuf[:0], s.preScratch, s.in.Model, s.in.C, !s.opts.AllowNonMinimal)
+	for _, q := range s.actionsBuf {
+		s.relax(it, t2, s.preScratch, q, s.in.Model.Total(q), res)
+	}
+}
+
+// relax processes one generated edge parent -> (t, pre-q) with the given
+// action and weight. pre == nil means the successor is the zero state
+// (refresh edges). The search takes ownership of action: it is either
+// retained as the node's best parent link or returned to the free list.
+func (s *searcher) relax(parent *pqItem, t int, pre, action core.Vector, weight float64, res *Result) {
+	key := nodeKey{t: int32(t)}
+	if pre != nil {
+		for i := range pre {
+			key.s[i] = int32(pre[i] - action[i])
+		}
+	}
+	if _, done := s.closed[key]; done {
+		s.putVec(action)
+		return
+	}
+	res.Generated++
+	g := parent.g + weight
+	if existing, ok := s.items[key]; ok {
+		if g >= existing.g {
+			s.putVec(action)
+			return
+		}
+		// Decrease-key: the cached existing.h stays valid (h depends only
+		// on the node), only g and the parent link change.
+		existing.g = g
+		existing.d = g + existing.h
+		heap.Fix(&s.open, existing.index)
+		old := s.parents[key]
+		//lint:ignore vecalias the search owns action and the parent map is its sole holder
+		s.parents[key] = parentLink{from: parent.key, action: action, t: t}
+		s.putVec(old.action)
+		return
+	}
+	state := s.getVec()
+	if pre != nil {
+		for i := range pre {
+			state[i] = pre[i] - action[i]
+		}
+	}
+	item := s.getItem()
+	*item = pqItem{t: t, state: state, key: key, g: g}
+	item.h = s.h(t, state)
+	item.d = g + item.h
+	s.items[key] = item
+	//lint:ignore vecalias the search owns action and the parent map is its sole holder
+	s.parents[key] = parentLink{from: parent.key, action: action, t: t}
+	heap.Push(&s.open, item)
+}
+
 // reconstruct rebuilds the plan from parent links.
-func (s *searcher) reconstruct(parents map[string]parentLink, destKey string) core.Plan {
+func (s *searcher) reconstruct(destKey nodeKey) core.Plan {
 	tEnd := s.in.T()
 	n := s.in.N()
 	plan := make(core.Plan, tEnd+1)
@@ -414,7 +542,7 @@ func (s *searcher) reconstruct(parents map[string]parentLink, destKey string) co
 	}
 	k := destKey
 	for {
-		link, ok := parents[k]
+		link, ok := s.parents[k]
 		if !ok {
 			break
 		}

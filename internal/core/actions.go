@@ -8,6 +8,17 @@ import "fmt"
 // from a mis-constructed instance.
 const maxEnumTables = 20
 
+// ActionScratch holds the reusable enumeration buffers behind
+// GreedyActionSet. A caller that enumerates actions once per node
+// expansion (the A* searcher) keeps one scratch and calls
+// AppendGreedyActions to avoid re-allocating the buffers every time.
+// The zero value is ready to use; a scratch must not be used from
+// multiple goroutines at once.
+type ActionScratch struct {
+	occupied []int
+	saved    []float64
+}
+
 // GreedyActionSet enumerates candidate greedy actions for pre-action state
 // s under constraint C: each candidate empties exactly the delta tables in
 // some subset and leaves a non-full post-action state. Only subsets of
@@ -22,27 +33,40 @@ const maxEnumTables = 20
 // It panics if s has more than maxEnumTables components or does not match
 // the model arity.
 func GreedyActionSet(s Vector, m *CostModel, c float64, minimalOnly bool) []Vector {
+	var sc ActionScratch
+	return sc.AppendGreedyActions(nil, s, m, c, minimalOnly)
+}
+
+// AppendGreedyActions appends the greedy action set of s (see
+// GreedyActionSet) to dst and returns the extended slice. The appended
+// action vectors are freshly allocated and owned by the caller; only the
+// scratch's internal enumeration buffers are reused across calls. It
+// panics if s has more than maxEnumTables components or does not match
+// the model arity.
+func (sc *ActionScratch) AppendGreedyActions(dst []Vector, s Vector, m *CostModel, c float64, minimalOnly bool) []Vector {
 	n := len(s)
 	if n > maxEnumTables {
 		panic(fmt.Sprintf("core: %d tables exceeds the greedy-action enumeration cap %d", n, maxEnumTables))
 	}
 	// Tables that actually hold modifications; emptying an empty table is a
 	// no-op, so subsets are built over occupied tables only.
-	occupied := make([]int, 0, n)
+	occupied := sc.occupied[:0]
 	for i, k := range s {
 		if k > 0 {
 			occupied = append(occupied, i)
 		}
 	}
+	sc.occupied = occupied
 	if len(occupied) == 0 {
-		return nil
+		return dst
 	}
 	total := m.Total(s)
 	// saved[j] is the refresh cost removed by emptying occupied[j].
-	saved := make([]float64, len(occupied))
-	for j, i := range occupied {
-		saved[j] = m.TableCost(i, s[i])
+	saved := sc.saved[:0]
+	for _, i := range occupied {
+		saved = append(saved, m.TableCost(i, s[i]))
 	}
+	sc.saved = saved
 	nOcc := len(occupied)
 	valid := func(mask uint32) bool {
 		residual := total
@@ -55,7 +79,6 @@ func GreedyActionSet(s Vector, m *CostModel, c float64, minimalOnly bool) []Vect
 		// model computes, so compare within tolerance.
 		return ApproxLE(residual, c)
 	}
-	var out []Vector
 	for mask := uint32(1); mask < 1<<nOcc; mask++ {
 		if !valid(mask) {
 			continue
@@ -78,9 +101,9 @@ func GreedyActionSet(s Vector, m *CostModel, c float64, minimalOnly bool) []Vect
 				act[i] = s[i]
 			}
 		}
-		out = append(out, act)
+		dst = append(dst, act)
 	}
-	return out
+	return dst
 }
 
 // MinimizeAction implements the paper's MinimizeAction(q, s): given a

@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
+	"sync"
 )
 
 // Vector is an n-component count vector. It represents arrivals (d_t),
@@ -112,26 +113,45 @@ func (v Vector) Equal(w Vector) bool {
 	return true
 }
 
+// keyBufPool recycles the scratch byte buffers behind Key and String so
+// rendering a vector costs exactly one allocation (the returned string).
+var keyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
 // Key returns a compact string usable as a map key for deduplicating
-// states during search.
+// states, and as the debug rendering of a vector's components. The hot
+// search path in internal/astar packs states into fixed-size comparable
+// keys instead; Key remains the debug/String formatting path and the
+// deterministic tie-break order for action selection.
 func (v Vector) Key() string {
-	var b strings.Builder
-	for i, x := range v {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%d", x)
-	}
-	return b.String()
+	return v.render(',', "")
 }
 
 // String renders v as "[a b c]".
 func (v Vector) String() string {
-	parts := make([]string, len(v))
-	for i, x := range v {
-		parts[i] = fmt.Sprintf("%d", x)
+	return v.render(' ', "[]")
+}
+
+// render joins the components with sep; brackets, when non-empty, holds
+// the surrounding open/close bytes.
+func (v Vector) render(sep byte, brackets string) string {
+	bp := keyBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	if brackets != "" {
+		b = append(b, brackets[0])
 	}
-	return "[" + strings.Join(parts, " ") + "]"
+	for i, x := range v {
+		if i > 0 {
+			b = append(b, sep)
+		}
+		b = strconv.AppendInt(b, int64(x), 10)
+	}
+	if brackets != "" {
+		b = append(b, brackets[1])
+	}
+	s := string(b)
+	*bp = b
+	keyBufPool.Put(bp)
+	return s
 }
 
 func mustSameLen(v, w Vector) {

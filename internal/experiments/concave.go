@@ -53,10 +53,24 @@ func ConcaveStudy(cfg Config) (*ConcaveResult, error) {
 	}
 	res := &ConcaveResult{}
 	for _, fam := range families {
-		worst, sum := 0.0, 0.0
-		ok := true
-		done := 0
-		for done < trials {
+		// Instance generation stays serial: the rng is shared across
+		// families and trials, so consuming it in generation order is what
+		// keeps the instance set identical for every Workers value. Only
+		// the exact solves (brute force + A*), which never touch the rng,
+		// fan out below.
+		//
+		// The serial code skipped instances after solving, when the brute
+		// force reported opt ~ 0. That happens exactly when no arrivals
+		// occur: every family's cost function charges at least ~0.35 for a
+		// single modification (linear slope >= 0.5, power coefficient
+		// >= 0.5, log 0.5*ln 2, step height >= 0.5) and every arrival must
+		// be processed by some action or the final refresh, so any
+		// non-empty instance costs well above the old 1e-9 threshold.
+		// Checking arrivals at generation time therefore skips the same
+		// instances — and consumes the rng identically — without needing
+		// the solve result.
+		instances := make([]*core.Instance, 0, trials)
+		for len(instances) < trials {
 			f1, err := fam.mk()
 			if err != nil {
 				return nil, err
@@ -67,27 +81,45 @@ func ConcaveStudy(cfg Config) (*ConcaveResult, error) {
 			}
 			steps := 3 + rng.Intn(4)
 			arr := make(core.Arrivals, steps)
+			empty := true
 			for t := range arr {
 				arr[t] = core.Vector{rng.Intn(3), rng.Intn(3)}
+				empty = empty && arr[t].IsZero()
 			}
 			model := core.NewCostModel(f1, f2)
 			c := 2 + rng.Float64()*8
+			if empty {
+				continue // no-op instance; ratio undefined
+			}
 			in, err := core.NewInstance(arr, model, c)
 			if err != nil {
 				return nil, err
 			}
+			instances = append(instances, in)
+		}
+		ratios := make([]float64, len(instances))
+		err := runIndexed(cfg.workerCount(), len(instances), func(i int) error {
+			in := instances[i]
 			opt, _, err := bruteforce.Optimal(in)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if opt <= 1e-9 {
-				continue // no-op instance; ratio undefined
+				return fmt.Errorf("concave study: non-empty %s instance has ~zero optimal cost", fam.name)
 			}
 			lgm, err := astar.Search(in, astar.Options{})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			ratio := lgm.Cost / opt
+			ratios[i] = lgm.Cost / opt
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		worst, sum := 0.0, 0.0
+		ok := true
+		for _, ratio := range ratios {
 			if ratio > worst {
 				worst = ratio
 			}
@@ -95,12 +127,11 @@ func ConcaveStudy(cfg Config) (*ConcaveResult, error) {
 				ok = false
 			}
 			sum += ratio
-			done++
 		}
 		res.Families = append(res.Families, fam.name)
-		res.Trials = append(res.Trials, done)
+		res.Trials = append(res.Trials, len(ratios))
 		res.WorstGap = append(res.WorstGap, worst)
-		res.MeanGap = append(res.MeanGap, sum/float64(done))
+		res.MeanGap = append(res.MeanGap, sum/float64(len(ratios)))
 		res.TheoremOK = append(res.TheoremOK, ok)
 	}
 	return res, nil

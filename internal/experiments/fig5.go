@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"abivm/internal/astar"
 	"abivm/internal/core"
@@ -14,9 +15,46 @@ import (
 	"abivm/internal/tpcr"
 )
 
-// fig4Model measures the paper-view cost curves and returns a cost model
-// (fit = "linear" or "piecewise") along with the measurement sweep used.
+// modelCacheKey identifies a fig4Model result: the model is a pure
+// function of these four inputs (generation and measurement are fully
+// seeded), so equal keys always yield identical models.
+type modelCacheKey struct {
+	scale float64
+	seed  int64
+	quick bool
+	fit   string
+}
+
+var (
+	modelCacheMu sync.Mutex
+	modelCache   = map[modelCacheKey]*core.CostModel{}
+)
+
+// fig4Model returns the paper-view cost model for the configuration,
+// memoized per (Scale, Seed, Quick, fit). Profiling shows the TPC-R
+// generation + curve measurement behind it dominates the figure suite
+// (~70% of BenchmarkFig6VaryRefresh), and Fig5/Fig6/Fig7/Policies all
+// rebuild the identical model; CostModel is immutable after
+// construction, so one shared instance serves every caller, including
+// concurrent parallel-sweep workers. Errors are not cached.
 func fig4Model(cfg Config, fit string) (*core.CostModel, error) {
+	key := modelCacheKey{scale: cfg.Scale, seed: cfg.Seed, quick: cfg.Quick, fit: fit}
+	modelCacheMu.Lock()
+	defer modelCacheMu.Unlock()
+	if m, ok := modelCache[key]; ok {
+		return m, nil
+	}
+	m, err := fig4ModelUncached(cfg, fit)
+	if err != nil {
+		return nil, err
+	}
+	modelCache[key] = m
+	return m, nil
+}
+
+// fig4ModelUncached measures the paper-view cost curves and returns a
+// cost model (fit = "linear" or "piecewise").
+func fig4ModelUncached(cfg Config, fit string) (*core.CostModel, error) {
 	m, gen, err := setupView(cfg, tpcr.PaperView, true, false)
 	if err != nil {
 		return nil, err

@@ -44,34 +44,51 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig6Result{C: c, AdaptT0: t0, RefreshTimes: times}
-	for _, tEnd := range times {
+	res := &Fig6Result{
+		C: c, AdaptT0: t0, RefreshTimes: times,
+		Naive:   make([]float64, len(times)),
+		OptLGM:  make([]float64, len(times)),
+		Adapt:   make([]float64, len(times)),
+		Online:  make([]float64, len(times)),
+		OnlineM: make([]float64, len(times)),
+	}
+	// Each refresh time is an independent instance, so the points fan out
+	// across the worker pool. The shared model, constraint and adaptPlan
+	// are strictly read-only (CostModel is immutable; Adapt clamps the
+	// plan into fresh vectors without mutating it), and every task writes
+	// only its own index, so any Workers value produces identical output.
+	err = runIndexed(cfg.workerCount(), len(times), func(i int) error {
+		tEnd := times[i]
 		seq := arrivals.UniformSequence(tEnd+1, 1, 1)
 		in, err := core.NewInstance(seq, model, c)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Naive = append(res.Naive, in.Cost(in.NaivePlan()))
+		res.Naive[i] = in.Cost(in.NaivePlan())
 		opt, err := astar.Search(in, astar.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.OptLGM = append(res.OptLGM, opt.Cost)
+		res.OptLGM[i] = opt.Cost
 		adaptRun, err := sim.Run(in, policy.NewAdapt(model, c, adaptPlan), sim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Adapt = append(res.Adapt, adaptRun.TotalCost)
+		res.Adapt[i] = adaptRun.TotalCost
 		onlineRun, err := sim.Run(in, policy.NewOnline(model, c, nil), sim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Online = append(res.Online, onlineRun.TotalCost)
+		res.Online[i] = onlineRun.TotalCost
 		onlineMRun, err := sim.Run(in, policy.NewOnlineMarginal(model, c, nil), sim.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.OnlineM = append(res.OnlineM, onlineMRun.TotalCost)
+		res.OnlineM[i] = onlineMRun.TotalCost
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -157,34 +174,57 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 		{"FU (fast/unstable)", 0.9, 5},
 	}
 	res := &Fig7Result{C: c, T: tEnd, Seeds: seeds}
+	// Every (stream, repetition) pair derives its own rng seeds from
+	// (si, rep) alone, so the flattened task list fans out across the
+	// worker pool with results collected per index; aggregation below
+	// then runs serially in stream order, making the output identical
+	// for any Workers value.
+	type cell struct {
+		naive, opt, online, onlineM float64
+	}
+	cells := make([]cell, len(streams)*seeds)
+	err = runIndexed(cfg.workerCount(), len(cells), func(idx int) error {
+		si, rep := idx/seeds, idx%seeds
+		sc := streams[si]
+		base := cfg.Seed + int64(si)*20 + int64(rep)*2
+		seq := arrivals.Sequence(tEnd+1,
+			arrivals.NewNonUniform(sc.p, 1, sc.sigma, base+1),
+			arrivals.NewNonUniform(sc.p, 1, sc.sigma, base+2),
+		)
+		in, err := core.NewInstance(seq, model, c)
+		if err != nil {
+			return err
+		}
+		cl := &cells[idx]
+		cl.naive = in.Cost(in.NaivePlan())
+		optRes, err := astar.Search(in, astar.Options{})
+		if err != nil {
+			return err
+		}
+		cl.opt = optRes.Cost
+		onlineRun, err := sim.Run(in, policy.NewOnline(model, c, nil), sim.Options{})
+		if err != nil {
+			return err
+		}
+		cl.online = onlineRun.TotalCost
+		onlineMRun, err := sim.Run(in, policy.NewOnlineMarginal(model, c, nil), sim.Options{})
+		if err != nil {
+			return err
+		}
+		cl.onlineM = onlineMRun.TotalCost
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for si, sc := range streams {
 		var naive, opt, online, onlineM []float64
 		for rep := 0; rep < seeds; rep++ {
-			base := cfg.Seed + int64(si)*20 + int64(rep)*2
-			seq := arrivals.Sequence(tEnd+1,
-				arrivals.NewNonUniform(sc.p, 1, sc.sigma, base+1),
-				arrivals.NewNonUniform(sc.p, 1, sc.sigma, base+2),
-			)
-			in, err := core.NewInstance(seq, model, c)
-			if err != nil {
-				return nil, err
-			}
-			naive = append(naive, in.Cost(in.NaivePlan()))
-			optRes, err := astar.Search(in, astar.Options{})
-			if err != nil {
-				return nil, err
-			}
-			opt = append(opt, optRes.Cost)
-			onlineRun, err := sim.Run(in, policy.NewOnline(model, c, nil), sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			online = append(online, onlineRun.TotalCost)
-			onlineMRun, err := sim.Run(in, policy.NewOnlineMarginal(model, c, nil), sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			onlineM = append(onlineM, onlineMRun.TotalCost)
+			cl := cells[si*seeds+rep]
+			naive = append(naive, cl.naive)
+			opt = append(opt, cl.opt)
+			online = append(online, cl.online)
+			onlineM = append(onlineM, cl.onlineM)
 		}
 		res.Streams = append(res.Streams, sc.name)
 		res.Naive = append(res.Naive, mean(naive))

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount resolves Config.Workers into an actual pool size: 0 means
+// one worker per available CPU (runtime.GOMAXPROCS), 1 means serial,
+// anything larger caps the pool at that many goroutines.
+func (cfg Config) workerCount() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runIndexed runs fn(0) .. fn(n-1) across a bounded worker pool. Tasks
+// communicate results only by writing into caller-preallocated slots at
+// their own index, so the assembled output is identical to a serial loop
+// regardless of goroutine scheduling. With workers <= 1 (or a single
+// task) it degenerates to the plain serial loop the pre-parallel code
+// ran — no goroutines, no atomics.
+//
+// The first error wins; once a task fails the remaining queue is
+// abandoned (already-running tasks finish — they are side-effect-free
+// solves, so cancellation plumbing isn't worth its complexity here).
+func runIndexed(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					// Drain the queue so the other workers stop picking
+					// up new tasks.
+					next.Store(int64(n))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// renderWith runs the given table builders under the given worker count
+// and returns the concatenated rendered output.
+func renderWith(t *testing.T, workers int, builders ...func(Config) (*Table, error)) []byte {
+	t.Helper()
+	cfg := Config{Scale: 0.002, Seed: 1, Quick: true, Workers: workers}
+	var buf bytes.Buffer
+	for _, b := range builders {
+		tbl, err := b(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelOutputByteIdentical is the headline guarantee of the
+// parallel sweeps: for the same seed, -workers=4 must render exactly
+// the bytes -workers=1 renders, for every parallelized experiment.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	builders := []func(Config) (*Table, error){Fig6Table, Fig7Table, ConcaveStudyTable}
+	serial := renderWith(t, 1, builders...)
+	parallel := renderWith(t, 4, builders...)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel output diverged from serial:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", serial, parallel)
+	}
+}
+
+func TestRunIndexedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 53
+		var hits [n]atomic.Int32
+		if err := runIndexed(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunIndexedPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := runIndexed(workers, 20, func(i int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+// TestRunIndexedHammer drives the pool hard with many tiny tasks and
+// more workers than tasks deserve; under -race this shakes out any
+// unsynchronized access in the scheduler or in result collection.
+func TestRunIndexedHammer(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		const n = 200
+		results := make([]int, n)
+		if err := runIndexed(32, n, func(i int) error {
+			results[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range results {
+			if v != i*i {
+				t.Fatalf("round %d: results[%d] = %d", round, i, v)
+			}
+		}
+	}
+}
+
+// TestConcaveStudyParallelMatchesSerial hammers the full experiment
+// (shared rng in generation, parallel exact solves) across worker
+// counts; the numeric results must be identical, not merely close.
+func TestConcaveStudyParallelMatchesSerial(t *testing.T) {
+	cfgAt := func(w int) Config { return Config{Scale: 0.002, Seed: 9, Quick: true, Workers: w} }
+	want, err := ConcaveStudy(cfgAt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := ConcaveStudy(cfgAt(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			t.Fatalf("workers=%d diverged:\n%+v\nwant\n%+v", workers, got, want)
+		}
+	}
+}
