@@ -1,15 +1,18 @@
 GO ?= go
+# Every test invocation carries a timeout so a hung test (deadlocked
+# retry loop, stuck worker pool) fails the run instead of wedging it.
+TEST_TIMEOUT ?= 10m
 
-.PHONY: build test race lint vet verify bench bench-quick
+.PHONY: build test race lint vet verify chaos bench bench-quick
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./...
 
 lint:
 	$(GO) run ./cmd/abivmlint ./...
@@ -20,6 +23,12 @@ vet:
 # verify is the merge gate: everything CI runs, in one command.
 verify:
 	sh scripts/check.sh
+
+# chaos runs the full seeded fault-injection sweep (50 schedules) plus
+# the race-enabled chaos tests.
+chaos:
+	$(GO) run ./cmd/abivm chaos -seed 1 -runs 50
+	$(GO) test -race -timeout $(TEST_TIMEOUT) -run 'TestChaos' ./internal/fault/
 
 # bench records a full benchmark run into BENCH_<date>.json; set
 # LABEL=name to tag it (e.g. LABEL=optimized).

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"abivm/internal/fault"
+	"abivm/internal/pubsub"
+)
+
+// runChaos implements `abivm chaos`: it runs the seeded fault-injection
+// harness for a range of seeds and reports, per seed, how many faults
+// fired, how many notifications degraded, and whether the faulted run
+// stayed byte-identical to the fault-free baseline. Any divergence is a
+// fault-handling bug and makes the command exit nonzero.
+//
+//	abivm chaos -seed 1 -runs 50 -steps 60
+func runChaos(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "first seed of the range")
+	runs := fs.Int("runs", 1, "number of consecutive seeds to run")
+	steps := fs.Int("steps", 60, "broker steps per run")
+	cpEvery := fs.Int("checkpoint", 5, "checkpoint cadence in steps (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *runs < 1 {
+		return fmt.Errorf("chaos: -runs must be >= 1")
+	}
+
+	fmt.Printf("%6s %7s %7s %9s %7s %10s\n", "seed", "steps", "faults", "degraded", "crashes", "identical")
+	bad := 0
+	for i := 0; i < *runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("chaos: interrupted after %d of %d runs: %w", i, *runs, err)
+		}
+		s := *seed + int64(i)
+		rep, err := pubsub.RunChaos(pubsub.ChaosConfig{
+			Seed: s, Steps: *steps, CheckpointEvery: *cpEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("chaos: seed %d: %w", s, err)
+		}
+		fmt.Printf("%6d %7d %7d %9d %7d %10v\n",
+			rep.Seed, rep.Steps, rep.TotalFaults, rep.Degraded,
+			rep.Faults[fault.SiteCrash], rep.Identical)
+		if !rep.Identical {
+			bad++
+			fmt.Fprintf(os.Stderr, "seed %d diverged from the fault-free baseline:\n%s\n", s, rep.Diff)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("chaos: %d of %d runs diverged from their baselines", bad, *runs)
+	}
+	return nil
+}

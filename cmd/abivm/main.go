@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"abivm/internal/experiments"
 )
@@ -32,6 +34,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: abivm [flags] fig1|fig4|fig5|fig6|fig7|tight|concave|staged|policies|all\n")
 		fmt.Fprintf(os.Stderr, "       abivm explain [query]\n")
 		fmt.Fprintf(os.Stderr, "       abivm sim [-costs a:b,..] [-rates r,..] [-C x] [-T n]\n")
+		fmt.Fprintf(os.Stderr, "       abivm chaos [-seed n] [-runs k] [-steps t]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,6 +42,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// An interrupt cancels long sweeps and chaos runs cleanly instead of
+	// killing the process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	switch flag.Arg(0) {
 	case "explain":
 		if err := runExplain(*scale, *seed, flag.Args()[1:]); err != nil {
@@ -50,12 +57,17 @@ func main() {
 			fail(err)
 		}
 		return
+	case "chaos":
+		if err := runChaos(ctx, flag.Args()[1:]); err != nil {
+			fail(err)
+		}
+		return
 	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, Workers: *workers, Context: ctx}
 
 	runners := map[string]func(experiments.Config) (*experiments.Table, error){
 		"fig1":     experiments.Fig1Table,

@@ -98,7 +98,7 @@ func ConcaveStudy(cfg Config) (*ConcaveResult, error) {
 			instances = append(instances, in)
 		}
 		ratios := make([]float64, len(instances))
-		err := runIndexed(cfg.workerCount(), len(instances), func(i int) error {
+		err := runIndexed(cfg.ctx(), cfg.workerCount(), len(instances), func(i int) error {
 			in := instances[i]
 			opt, _, err := bruteforce.Optimal(in)
 			if err != nil {

@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -42,6 +43,10 @@ type Config struct {
 	// byte-identical for every value: tasks are seeded independently and
 	// results are collected by index.
 	Workers int
+	// Context, when non-nil, cancels in-flight sweeps: workers stop
+	// picking up tasks and the experiment returns the context's error.
+	// nil means run to completion.
+	Context context.Context
 }
 
 // DefaultConfig returns the standard experiment configuration.

@@ -57,7 +57,7 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 	// are strictly read-only (CostModel is immutable; Adapt clamps the
 	// plan into fresh vectors without mutating it), and every task writes
 	// only its own index, so any Workers value produces identical output.
-	err = runIndexed(cfg.workerCount(), len(times), func(i int) error {
+	err = runIndexed(cfg.ctx(), cfg.workerCount(), len(times), func(i int) error {
 		tEnd := times[i]
 		seq := arrivals.UniformSequence(tEnd+1, 1, 1)
 		in, err := core.NewInstance(seq, model, c)
@@ -183,7 +183,7 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 		naive, opt, online, onlineM float64
 	}
 	cells := make([]cell, len(streams)*seeds)
-	err = runIndexed(cfg.workerCount(), len(cells), func(idx int) error {
+	err = runIndexed(cfg.ctx(), cfg.workerCount(), len(cells), func(idx int) error {
 		si, rep := idx/seeds, idx%seeds
 		sc := streams[si]
 		base := cfg.Seed + int64(si)*20 + int64(rep)*2

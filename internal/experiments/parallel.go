@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,14 @@ func (cfg Config) workerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ctx resolves Config.Context, defaulting to the background context.
+func (cfg Config) ctx() context.Context {
+	if cfg.Context != nil {
+		return cfg.Context
+	}
+	return context.Background()
+}
+
 // runIndexed runs fn(0) .. fn(n-1) across a bounded worker pool. Tasks
 // communicate results only by writing into caller-preallocated slots at
 // their own index, so the assembled output is identical to a serial loop
@@ -23,24 +32,33 @@ func (cfg Config) workerCount() int {
 // task) it degenerates to the plain serial loop the pre-parallel code
 // ran — no goroutines, no atomics.
 //
-// The first error wins; once a task fails the remaining queue is
-// abandoned (already-running tasks finish — they are side-effect-free
-// solves, so cancellation plumbing isn't worth its complexity here).
-func runIndexed(workers, n int, fn func(i int) error) error {
+// The first task error wins and cancels the rest of the queue; a
+// cancelled ctx (interrupt, timeout) stops workers from picking up new
+// tasks and surfaces ctx.Err(). Already-running tasks finish — they are
+// side-effect-free solves — so returning means all workers have exited.
+func runIndexed(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -51,21 +69,24 @@ func runIndexed(workers, n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for wctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				if err := fn(i); err != nil {
 					errOnce.Do(func() { firstErr = err })
-					// Drain the queue so the other workers stop picking
-					// up new tasks.
-					next.Store(int64(n))
+					cancel()
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	// Distinguish "queue drained" from "caller cancelled us": only the
+	// outer context's state matters once every task error is ruled out.
+	return ctx.Err()
 }

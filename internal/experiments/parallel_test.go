@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -40,7 +41,7 @@ func TestRunIndexedCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16} {
 		const n = 53
 		var hits [n]atomic.Int32
-		if err := runIndexed(workers, n, func(i int) error {
+		if err := runIndexed(nil, workers, n, func(i int) error {
 			hits[i].Add(1)
 			return nil
 		}); err != nil {
@@ -57,7 +58,7 @@ func TestRunIndexedCoversAllIndices(t *testing.T) {
 func TestRunIndexedPropagatesFirstError(t *testing.T) {
 	boom := errors.New("boom")
 	for _, workers := range []int{1, 4} {
-		err := runIndexed(workers, 20, func(i int) error {
+		err := runIndexed(nil, workers, 20, func(i int) error {
 			if i == 7 {
 				return boom
 			}
@@ -76,7 +77,7 @@ func TestRunIndexedHammer(t *testing.T) {
 	for round := 0; round < 50; round++ {
 		const n = 200
 		results := make([]int, n)
-		if err := runIndexed(32, n, func(i int) error {
+		if err := runIndexed(nil, 32, n, func(i int) error {
 			results[i] = i * i
 			return nil
 		}); err != nil {
@@ -87,6 +88,68 @@ func TestRunIndexedHammer(t *testing.T) {
 				t.Fatalf("round %d: results[%d] = %d", round, i, v)
 			}
 		}
+	}
+}
+
+func TestRunIndexedStopsOnCancelledContext(t *testing.T) {
+	pre := func() context.Context {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return ctx
+	}
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := runIndexed(pre(), workers, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		// A pre-cancelled context must not start any serial task; the
+		// parallel pool may race a handful in before workers observe it.
+		if workers == 1 && ran.Load() != 0 {
+			t.Fatalf("serial path ran %d tasks under a cancelled context", ran.Load())
+		}
+	}
+}
+
+func TestRunIndexedCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		const n = 10_000
+		err := runIndexed(ctx, workers, n, func(i int) error {
+			if ran.Add(1) == 25 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: cancellation did not stop the queue (%d/%d tasks ran)", workers, got, n)
+		}
+	}
+}
+
+// TestRunIndexedErrorBeatsCancel: when a task fails and the context is
+// then cancelled by the caller's defer, the task error is what callers
+// see — cancellation must not mask real failures.
+func TestRunIndexedErrorBeatsCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := runIndexed(ctx, 4, 50, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
 	}
 }
 

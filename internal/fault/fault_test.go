@@ -1,0 +1,103 @@
+package fault_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"abivm/internal/fault"
+)
+
+func TestSeededIsDeterministic(t *testing.T) {
+	sites := []fault.Site{
+		fault.SiteDrainPlan, fault.SiteDrainApply, fault.SiteWALCommit,
+		fault.SiteCheckpoint, fault.SiteCrash,
+	}
+	trace := func(seed int64) string {
+		inj := fault.NewSeeded(seed, fault.DefaultRates())
+		out := ""
+		for i := 0; i < 500; i++ {
+			err := inj.Hit(sites[i%len(sites)])
+			if err != nil {
+				out += fmt.Sprintf("%d:%v;", i, err)
+			}
+		}
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if a == trace(43) {
+		t.Fatal("different seeds produced an identical 500-call fault trace")
+	}
+	if a == "" {
+		t.Fatal("default rates injected nothing in 500 calls")
+	}
+}
+
+func TestSeededCapsConsecutiveFailures(t *testing.T) {
+	// Rate 1.0 would fail every call; the MaxRun cap must force a success
+	// after each run of MaxRun failures.
+	inj := fault.NewSeeded(1, fault.Rates{DrainPlan: 1.0})
+	consec := 0
+	for i := 0; i < 100; i++ {
+		if err := inj.Hit(fault.SiteDrainPlan); err != nil {
+			consec++
+			if consec > fault.MaxRun {
+				t.Fatalf("call %d: %d consecutive failures > MaxRun %d", i, consec, fault.MaxRun)
+			}
+		} else {
+			consec = 0
+		}
+	}
+	if inj.Total() == 0 {
+		t.Fatal("rate-1.0 injector fired nothing")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&fault.Error{Site: fault.SiteDrainPlan, Kind: fault.KindTransient}, true},
+		{&fault.Error{Site: fault.SiteDrainApply, Kind: fault.KindPartial}, true},
+		{&fault.Error{Site: fault.SiteCrash, Kind: fault.KindCrash}, false},
+		{fmt.Errorf("wrap: %w", &fault.Error{Kind: fault.KindTransient}), true},
+		{errors.New("a real failure"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := fault.Transient(c.err); got != c.want {
+			t.Errorf("Transient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestAlwaysAtFiresOnlyAtItsSite(t *testing.T) {
+	inj := fault.AlwaysAt(fault.SiteDrainApply)
+	if err := inj.Hit(fault.SiteDrainPlan); err != nil {
+		t.Fatalf("unexpected fault at other site: %v", err)
+	}
+	err := inj.Hit(fault.SiteDrainApply)
+	if err == nil {
+		t.Fatal("AlwaysAt did not fire at its site")
+	}
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Kind != fault.KindPartial {
+		t.Fatalf("AlwaysAt(drain.apply) kind = %v, want partial", err)
+	}
+	if !fault.Transient(err) {
+		t.Fatal("partial applies must be retryable after rollback")
+	}
+}
+
+func TestNopInjectsNothing(t *testing.T) {
+	var inj fault.Nop
+	for i := 0; i < 10; i++ {
+		if err := inj.Hit(fault.SiteCrash); err != nil {
+			t.Fatalf("Nop injected %v", err)
+		}
+	}
+}

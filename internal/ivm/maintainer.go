@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"abivm/internal/exec"
+	"abivm/internal/fault"
 	"abivm/internal/plan"
 	"abivm/internal/sql"
 	"abivm/internal/storage"
@@ -35,6 +36,12 @@ type Maintainer struct {
 
 	// Select-project-join views: multiplicity bag keyed by encoded row.
 	bag map[string]*bagEntry
+
+	// Fault-tolerance hooks: an optional redo log of arrivals and drain
+	// commits, and an optional fault injector consulted at the drain
+	// sites (see internal/fault).
+	wal *WAL
+	inj fault.Injector
 }
 
 type bagEntry struct {
@@ -50,6 +57,24 @@ type itemRef struct {
 // New parses and binds a view definition over the live database, builds
 // view-consistent replica tables, and computes the initial view content.
 func New(live *storage.DB, query string) (*Maintainer, error) {
+	m, err := newSkeleton(live, query)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.buildReplicas(); err != nil {
+		return nil, err
+	}
+	if err := m.initialize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// newSkeleton parses and binds the view definition and derives the delta
+// query, but builds no replicas and computes no content — the shared
+// front half of New (replicas snapshotted from live) and Recover
+// (replicas loaded from a checkpoint).
+func newSkeleton(live *storage.DB, query string) (*Maintainer, error) {
 	sel, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -77,16 +102,38 @@ func New(live *storage.DB, query string) (*Maintainer, error) {
 		m.tables[tr.Alias] = tr.Table
 		m.aliases = append(m.aliases, tr.Alias)
 	}
-	if err := m.buildReplicas(); err != nil {
-		return nil, err
-	}
 	if err := m.buildDeltaQuery(); err != nil {
 		return nil, err
 	}
-	if err := m.initialize(); err != nil {
-		return nil, err
-	}
 	return m, nil
+}
+
+// AttachWAL makes the maintainer record every accepted arrival and every
+// committed drain to w, enabling Checkpoint/Recover. A nil w detaches.
+func (m *Maintainer) AttachWAL(w *WAL) { m.wal = w }
+
+// WAL returns the attached redo log, or nil.
+func (m *Maintainer) WAL() *WAL { return m.wal }
+
+// SetInjector installs a fault injector consulted at the drain sites; a
+// nil injector (the default) disables injection.
+func (m *Maintainer) SetInjector(inj fault.Injector) { m.inj = inj }
+
+// hit consults the fault injector at a site.
+func (m *Maintainer) hit(site fault.Site) error {
+	if m.inj == nil {
+		return nil
+	}
+	return m.inj.Hit(site)
+}
+
+// logArrival appends an arrival record for an accepted modification.
+func (m *Maintainer) logArrival(mod Mod) error {
+	if m.wal == nil {
+		return nil
+	}
+	_, err := m.wal.Append(WALRecord{Kind: WALArrival, Mod: mod})
+	return err
 }
 
 // Aliases returns the FROM aliases in order; index i corresponds to the
@@ -259,6 +306,9 @@ func (m *Maintainer) Apply(mods ...Mod) error {
 			return fmt.Errorf("ivm: unknown modification kind %d", mod.Kind)
 		}
 		m.deltas[mod.Alias] = append(m.deltas[mod.Alias], mod)
+		if err := m.logArrival(mod); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -276,6 +326,9 @@ func (m *Maintainer) ApplyDeferred(mods ...Mod) error {
 			return fmt.Errorf("ivm: unknown alias %q", mod.Alias)
 		}
 		m.deltas[mod.Alias] = append(m.deltas[mod.Alias], mod)
+		if err := m.logArrival(mod); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -297,6 +350,14 @@ func (m *Maintainer) Pending() []int {
 // ProcessBatch drains the earliest k modifications of the alias's delta
 // queue into the view. It is the action primitive: the cost it charges to
 // Stats is the paper's f_i(k).
+//
+// The drain is atomic: the plan phase (net-delta replay and delta joins)
+// mutates nothing, and the mutation phase keeps an undo journal, so any
+// failure — injected or real — rolls the maintainer back to the exact
+// pre-action state and the error is safe to retry. View-state folding,
+// the WAL commit record, and the queue trim happen only at the commit
+// point. Work units charged to Stats by a failed attempt are not undone:
+// failed work is still work.
 func (m *Maintainer) ProcessBatch(alias string, k int) error {
 	queue, ok := m.deltas[alias]
 	if !ok {
@@ -310,8 +371,10 @@ func (m *Maintainer) ProcessBatch(alias string, k int) error {
 	if k == 0 {
 		return nil
 	}
+	if err := m.hit(fault.SiteDrainPlan); err != nil {
+		return err
+	}
 	batch := queue[:k]
-	m.stats.BatchSetups++
 
 	repl := m.replica.MustTable(m.tables[alias])
 	delRows, insRows, err := m.netDelta(repl, batch)
@@ -326,20 +389,57 @@ func (m *Maintainer) ProcessBatch(alias string, k int) error {
 	if err != nil {
 		return err
 	}
-	m.removeRows(minus)
-	m.addRows(plus)
 
-	// Bring replica i up to the post-batch state.
-	for _, r := range delRows {
-		if _, err := repl.Delete(r.Project(repl.Schema().Key)...); err != nil {
-			return fmt.Errorf("ivm: replica delete: %w", err)
+	// Mutation phase: bring replica i up to the post-batch state, keeping
+	// an undo journal so a mid-batch failure restores the pre-action
+	// replica instead of leaving half-applied deltas.
+	var undo []func() error
+	rollback := func(cause error) error {
+		for i := len(undo) - 1; i >= 0; i-- {
+			if rerr := undo[i](); rerr != nil {
+				// A failing undo means the replica is corrupt; surface it
+				// as a distinct, non-retryable error.
+				return fmt.Errorf("ivm: rollback after %v failed: %w", cause, rerr)
+			}
 		}
+		return cause
+	}
+	for _, r := range delRows {
+		row := r
+		if _, err := repl.Delete(row.Project(repl.Schema().Key)...); err != nil {
+			return rollback(fmt.Errorf("ivm: replica delete: %w", err))
+		}
+		undo = append(undo, func() error { return repl.Insert(row) })
+	}
+	if err := m.hit(fault.SiteDrainApply); err != nil {
+		return rollback(err)
 	}
 	for _, r := range insRows {
-		if err := repl.Insert(r); err != nil {
-			return fmt.Errorf("ivm: replica insert: %w", err)
+		row := r
+		if err := repl.Insert(row); err != nil {
+			return rollback(fmt.Errorf("ivm: replica insert: %w", err))
+		}
+		undo = append(undo, func() error {
+			_, derr := repl.Delete(row.Project(repl.Schema().Key)...)
+			return derr
+		})
+	}
+	if err := m.hit(fault.SiteWALCommit); err != nil {
+		return rollback(err)
+	}
+
+	// Commit point: fold the delta into the view state (exact inverse
+	// deltas, cannot fail), log the drain, trim the queue.
+	m.removeRows(minus)
+	m.addRows(plus)
+	if m.wal != nil {
+		if _, err := m.wal.Append(WALRecord{Kind: WALDrain, Alias: alias, K: k}); err != nil {
+			m.addRows(minus)
+			m.removeRows(plus)
+			return rollback(fmt.Errorf("ivm: wal commit: %w", err))
 		}
 	}
+	m.stats.BatchSetups++
 	m.deltas[alias] = queue[k:]
 	return nil
 }

@@ -1,0 +1,121 @@
+package ivm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"abivm/internal/storage"
+)
+
+// checkpointVersion guards against reading checkpoints written by an
+// incompatible layout.
+const checkpointVersion = 1
+
+// checkpointDTO is the on-stream checkpoint format: the replica database
+// (the exact state the view reflects), the pending delta queues, and the
+// WAL position the checkpoint covers. The view content itself is not
+// stored — it is a pure function of the replicas (the delta query over
+// them), so Recover recomputes it, keeping the format small and immune
+// to view-state layout changes.
+type checkpointDTO struct {
+	Version int
+	LSN     uint64
+	Replica []byte
+	Queues  map[string][]Mod
+}
+
+// Checkpoint serializes the maintainer's durable state to w: replica
+// snapshot, delta queues, and the current WAL position. Everything the
+// checkpoint covers (LSN and below) may be truncated from the WAL
+// afterwards; Recover replays only records past the checkpoint.
+func (m *Maintainer) Checkpoint(w io.Writer) error {
+	var replica bytes.Buffer
+	if err := m.replica.WriteSnapshot(&replica); err != nil {
+		return fmt.Errorf("ivm: checkpoint replica snapshot: %w", err)
+	}
+	dto := checkpointDTO{
+		Version: checkpointVersion,
+		Replica: replica.Bytes(),
+		Queues:  make(map[string][]Mod, len(m.aliases)),
+	}
+	if m.wal != nil {
+		dto.LSN = m.wal.LastLSN()
+	}
+	for _, alias := range m.aliases {
+		q := m.deltas[alias]
+		dto.Queues[alias] = append([]Mod(nil), q...)
+	}
+	if err := gob.NewEncoder(w).Encode(dto); err != nil {
+		return fmt.Errorf("ivm: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Recover rebuilds a crashed maintainer from its last checkpoint and the
+// write-ahead log: load the replica snapshot and queues, recompute the
+// view content from the replicas, then redo the WAL suffix — arrivals
+// re-enter the queues (their live-table effects already happened before
+// the crash) and drains re-execute, so the recovered maintainer matches
+// the crashed one exactly: same replicas, same queues, same view. The
+// WAL is attached to the returned maintainer; replayed work is not
+// re-logged.
+func Recover(live *storage.DB, query string, cp io.Reader, wal *WAL) (*Maintainer, error) {
+	var dto checkpointDTO
+	if err := gob.NewDecoder(cp).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("ivm: decoding checkpoint: %w", err)
+	}
+	if dto.Version != checkpointVersion {
+		return nil, fmt.Errorf("ivm: checkpoint version %d, want %d", dto.Version, checkpointVersion)
+	}
+	m, err := newSkeleton(live, query)
+	if err != nil {
+		return nil, err
+	}
+	replica, err := storage.ReadSnapshot(bytes.NewReader(dto.Replica))
+	if err != nil {
+		return nil, fmt.Errorf("ivm: checkpoint replica: %w", err)
+	}
+	m.replica = replica
+	m.stats = replica.Stats()
+	for _, alias := range m.aliases {
+		if _, err := replica.Table(m.tables[alias]); err != nil {
+			return nil, fmt.Errorf("ivm: checkpoint is missing replica of %q: %w", alias, err)
+		}
+	}
+	// The view content is the delta query over the replicas — exactly the
+	// state the checkpoint captured.
+	if err := m.initialize(); err != nil {
+		return nil, fmt.Errorf("ivm: recomputing view from checkpoint: %w", err)
+	}
+	for alias, q := range dto.Queues {
+		if _, ok := m.tables[alias]; !ok {
+			return nil, fmt.Errorf("ivm: checkpoint queue for unknown alias %q", alias)
+		}
+		m.deltas[alias] = append([]Mod(nil), q...)
+	}
+	// Redo the log suffix. The WAL (and injector) stay detached during
+	// replay: recovery must not re-log records or pick up new faults.
+	if wal != nil {
+		for _, rec := range wal.Since(dto.LSN) {
+			switch rec.Kind {
+			case WALArrival:
+				if _, ok := m.tables[rec.Mod.Alias]; !ok {
+					return nil, fmt.Errorf("ivm: wal arrival for unknown alias %q", rec.Mod.Alias)
+				}
+				m.deltas[rec.Mod.Alias] = append(m.deltas[rec.Mod.Alias], rec.Mod)
+			case WALDrain:
+				if err := m.ProcessBatch(rec.Alias, rec.K); err != nil {
+					return nil, fmt.Errorf("ivm: replaying drain lsn=%d %s/%d: %w", rec.LSN, rec.Alias, rec.K, err)
+				}
+			default:
+				return nil, fmt.Errorf("ivm: unknown wal record kind %d at lsn %d", rec.Kind, rec.LSN)
+			}
+		}
+	}
+	m.wal = wal
+	// Replay work is recovery overhead, not maintenance cost.
+	*m.stats = storage.Stats{}
+	return m, nil
+}

@@ -1,0 +1,109 @@
+package ivm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The write-ahead log and checkpoint pair give a Maintainer crash
+// durability: every accepted arrival and every committed drain is
+// recorded, so a maintainer that loses its in-memory state (replica,
+// delta queues, view) is rebuilt exactly by loading the last checkpoint
+// and replaying the log suffix — a classic redo log. Replaying drains
+// (not just arrivals) is what makes recovery *byte-identical*: the
+// recovered maintainer has processed precisely the batches the crashed
+// one had, so pending vectors, refresh costs, and view contents all
+// match the fault-free execution.
+
+// WALKind distinguishes log record types.
+type WALKind uint8
+
+// WAL record kinds.
+const (
+	// WALArrival records one accepted base-table modification.
+	WALArrival WALKind = iota
+	// WALDrain records one committed ProcessBatch(Alias, K).
+	WALDrain
+)
+
+// WALRecord is one redo-log entry. Arrival records carry Mod (whose
+// Alias addresses the maintainer's view); drain records carry Alias/K.
+type WALRecord struct {
+	LSN   uint64
+	Kind  WALKind
+	Mod   Mod
+	Alias string
+	K     int
+}
+
+// WAL is an in-memory, append-only redo log with monotonically
+// increasing LSNs starting at 1. It survives a (simulated) maintainer
+// crash because it is owned by the broker, not the maintainer; a
+// persistent deployment would back it with a file, which the explicit
+// LSN/truncation API is shaped for. WAL is safe for concurrent use.
+type WAL struct {
+	mu   sync.Mutex
+	recs []WALRecord
+	next uint64
+}
+
+// NewWAL returns an empty log.
+func NewWAL() *WAL { return &WAL{next: 1} }
+
+// Append assigns the next LSN to rec and appends it, returning the LSN.
+func (w *WAL) Append(rec WALRecord) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.LSN = w.next
+	w.next++
+	w.recs = append(w.recs, rec)
+	return rec.LSN, nil
+}
+
+// LastLSN returns the LSN of the most recently appended record, or 0 for
+// an empty (or fully truncated) log history.
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.next - 1
+}
+
+// Since returns a copy of every record with LSN > lsn, in order.
+func (w *WAL) Since(lsn uint64) []WALRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := 0
+	for i < len(w.recs) && w.recs[i].LSN <= lsn {
+		i++
+	}
+	out := make([]WALRecord, len(w.recs)-i)
+	copy(out, w.recs[i:])
+	return out
+}
+
+// TruncateThrough drops every record with LSN <= lsn; a checkpoint at
+// lsn makes the prefix unnecessary for recovery. LSN assignment is
+// unaffected.
+func (w *WAL) TruncateThrough(lsn uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := 0
+	for i < len(w.recs) && w.recs[i].LSN <= lsn {
+		i++
+	}
+	w.recs = append(w.recs[:0], w.recs[i:]...)
+}
+
+// Len returns the number of retained records.
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.recs)
+}
+
+// String summarizes the log for diagnostics.
+func (w *WAL) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return fmt.Sprintf("wal{records=%d, next=%d}", len(w.recs), w.next)
+}

@@ -1,0 +1,85 @@
+package ivm
+
+import (
+	"sync"
+	"testing"
+
+	"abivm/internal/storage"
+)
+
+func TestWALAppendSinceTruncate(t *testing.T) {
+	w := NewWAL()
+	if got := w.LastLSN(); got != 0 {
+		t.Fatalf("empty LastLSN = %d", got)
+	}
+	for i := 0; i < 5; i++ {
+		lsn, err := w.Append(WALRecord{Kind: WALDrain, Alias: "a", K: i + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+	}
+	if got := w.LastLSN(); got != 5 {
+		t.Fatalf("LastLSN = %d", got)
+	}
+	since := w.Since(2)
+	if len(since) != 3 || since[0].LSN != 3 || since[2].LSN != 5 {
+		t.Fatalf("Since(2) = %+v", since)
+	}
+	if got := w.Since(99); len(got) != 0 {
+		t.Fatalf("Since(99) = %+v", got)
+	}
+
+	w.TruncateThrough(3)
+	if w.Len() != 2 {
+		t.Fatalf("Len after truncate = %d", w.Len())
+	}
+	// Truncation must not disturb LSN assignment.
+	lsn, err := w.Append(WALRecord{Kind: WALArrival, Mod: Insert("a", storage.Row{storage.I(1)})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 6 {
+		t.Fatalf("post-truncate lsn = %d, want 6", lsn)
+	}
+	got := w.Since(0)
+	if len(got) != 3 || got[0].LSN != 4 || got[2].LSN != 6 {
+		t.Fatalf("Since(0) after truncate = %+v", got)
+	}
+}
+
+func TestWALConcurrentAppend(t *testing.T) {
+	w := NewWAL()
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	seen := make([][]uint64, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lsn, err := w.Append(WALRecord{Kind: WALDrain, Alias: "x", K: 1})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				seen[g] = append(seen[g], lsn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	all := map[uint64]bool{}
+	for _, s := range seen {
+		for _, lsn := range s {
+			if all[lsn] {
+				t.Fatalf("duplicate lsn %d", lsn)
+			}
+			all[lsn] = true
+		}
+	}
+	if len(all) != workers*per || w.LastLSN() != uint64(workers*per) {
+		t.Fatalf("assigned %d lsns, last %d", len(all), w.LastLSN())
+	}
+}

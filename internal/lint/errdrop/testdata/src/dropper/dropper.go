@@ -55,3 +55,44 @@ func suppressed() {
 	//lint:ignore errdrop best-effort cleanup on shutdown
 	mayFail()
 }
+
+// The fault-injection shapes: an injector's Hit and a WAL writer's
+// Append both return errors that silently disable fault handling when
+// dropped — exactly the class errdrop exists to catch.
+
+type site string
+
+type injector interface {
+	Hit(s site) error
+}
+
+type wal struct{}
+
+func (w *wal) Append(rec string) (uint64, error) { return 1, nil }
+
+func pollSite(inj injector) {
+	inj.Hit("drain.plan") // want "error result of inj.Hit is discarded"
+}
+
+func logArrival(w *wal) {
+	w.Append("arrival") // want "error result of w.Append is discarded"
+}
+
+func logBlankLSN(w *wal) {
+	// Discarding the LSN is fine; discarding the error is not.
+	_, _ = w.Append("drain") // want "assigned to _"
+}
+
+func logHandled(w *wal) (uint64, error) {
+	// negative: LSN consumed, error propagated.
+	lsn, err := w.Append("drain")
+	if err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+func pollHandled(inj injector) bool {
+	// negative: the injected error is inspected, not dropped.
+	return inj.Hit("crash") != nil
+}

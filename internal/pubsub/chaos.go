@@ -1,0 +1,300 @@
+package pubsub
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"abivm/internal/core"
+	"abivm/internal/costfn"
+	"abivm/internal/fault"
+	"abivm/internal/ivm"
+	"abivm/internal/storage"
+)
+
+// Chaos harness: run one deterministic pub/sub workload twice — once
+// fault-free, once under a seeded injector with retries, rollbacks,
+// degradation, checkpoints, and crash-recovery live — and compare the
+// two executions byte for byte. Because the Seeded injector caps
+// consecutive failures below the broker's retry budget and recovery is
+// an exact redo, the faulted run must produce identical notifications
+// and identical final view contents; any divergence is a fault-handling
+// bug. This is the paper's QoS guarantee restated as a testable
+// property: injected faults may cost retries, but they may never cost
+// correctness or the constraint C.
+
+// ChaosConfig parameterizes one chaos comparison.
+type ChaosConfig struct {
+	// Seed drives both the workload generator and the fault schedule.
+	Seed int64
+	// Steps is the number of broker steps to run (default 60).
+	Steps int
+	// Rates is the per-site fault mix; the zero value selects
+	// fault.DefaultRates().
+	Rates fault.Rates
+	// CheckpointEvery is the broker checkpoint cadence (default 5).
+	CheckpointEvery int
+}
+
+// ChaosReport summarizes a faulted-vs-baseline comparison.
+type ChaosReport struct {
+	Seed          int64
+	Steps         int
+	Notifications int
+	// Faults is the per-site injected-fault count of the faulted run.
+	Faults map[fault.Site]int
+	// TotalFaults is the number of faults injected.
+	TotalFaults int
+	// Degraded counts degraded notifications in the faulted run (0 when
+	// the retry budget covers the injector's burst bound, as it does for
+	// the Seeded injector).
+	Degraded int
+	// Identical reports whether notifications and final view contents of
+	// the two runs are byte-identical.
+	Identical bool
+	// Diff holds a diagnostic excerpt of the first divergence.
+	Diff string
+}
+
+// chaosEvent is one scripted modification.
+type chaosEvent struct {
+	table string
+	mod   ivm.Mod
+}
+
+// chaosDB builds the deterministic base database of the chaos workload:
+// stations(stationkey, region) and sales(salekey, station, amount).
+func chaosDB() (*storage.DB, error) {
+	db := storage.NewDB()
+	st, err := storage.NewSchema("stations", []storage.Column{
+		{Name: "stationkey", Type: storage.TInt},
+		{Name: "region", Type: storage.TString},
+	}, "stationkey")
+	if err != nil {
+		return nil, err
+	}
+	stations, err := db.CreateTable(st)
+	if err != nil {
+		return nil, err
+	}
+	for i := int64(0); i < 8; i++ {
+		region := "EAST"
+		if i%2 == 1 {
+			region = "WEST"
+		}
+		if err := stations.Insert(storage.Row{storage.I(i), storage.S(region)}); err != nil {
+			return nil, err
+		}
+	}
+	if err := stations.CreateIndex("st_pk", storage.HashIndex, "stationkey"); err != nil {
+		return nil, err
+	}
+	sa, err := storage.NewSchema("sales", []storage.Column{
+		{Name: "salekey", Type: storage.TInt},
+		{Name: "station", Type: storage.TInt},
+		{Name: "amount", Type: storage.TFloat},
+	}, "salekey")
+	if err != nil {
+		return nil, err
+	}
+	sales, err := db.CreateTable(sa)
+	if err != nil {
+		return nil, err
+	}
+	for i := int64(0); i < 40; i++ {
+		if err := sales.Insert(storage.Row{storage.I(i), storage.I(i % 8), storage.F(10)}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// chaosScript pregenerates the per-step modification schedule, so the
+// baseline and faulted runs see the exact same stream.
+func chaosScript(seed int64, steps int) [][]chaosEvent {
+	rng := rand.New(rand.NewSource(seed))
+	live := make([]int64, 0, 40+steps*2)
+	for i := int64(0); i < 40; i++ {
+		live = append(live, i)
+	}
+	next := int64(40)
+	script := make([][]chaosEvent, steps)
+	for t := 0; t < steps; t++ {
+		var evs []chaosEvent
+		for n := 1 + rng.Intn(2); n > 0; n-- {
+			row := storage.Row{storage.I(next), storage.I(int64(rng.Intn(8))), storage.F(float64(1 + rng.Intn(20)))}
+			evs = append(evs, chaosEvent{table: "sales", mod: ivm.Insert("", row)})
+			live = append(live, next)
+			next++
+		}
+		if rng.Float64() < 0.30 && len(live) > 8 {
+			i := rng.Intn(len(live))
+			key := live[i]
+			live = append(live[:i], live[i+1:]...)
+			evs = append(evs, chaosEvent{table: "sales", mod: ivm.Delete("", storage.I(key))})
+		}
+		if rng.Float64() < 0.25 {
+			k := int64(rng.Intn(8))
+			region := "EAST"
+			if rng.Intn(2) == 1 {
+				region = "WEST"
+			}
+			evs = append(evs, chaosEvent{table: "stations", mod: ivm.Update("",
+				[]storage.Value{storage.I(k)}, storage.Row{storage.I(k), storage.S(region)})})
+		}
+		script[t] = evs
+	}
+	return script
+}
+
+// chaosModel builds the per-subscription cost model (sales, stations).
+func chaosModel() (*core.CostModel, error) {
+	fSales, err := costfn.NewLinear(0.5, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	fStations, err := costfn.NewLinear(0.05, 4)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCostModel(fSales, fStations), nil
+}
+
+const (
+	chaosEastQuery = `SELECT SUM(s.amount), COUNT(*) FROM sales AS s, stations AS st
+		WHERE s.station = st.stationkey AND st.region = 'EAST'`
+	chaosWestQuery = `SELECT SUM(s.amount), COUNT(*) FROM sales AS s, stations AS st
+		WHERE s.station = st.stationkey AND st.region = 'WEST'`
+	chaosQoS = 40.0
+)
+
+// chaosRun executes the scripted workload against a fresh broker under
+// the given injector and returns the rendered notification transcript,
+// the rendered final view contents, and the degraded-notification count.
+func chaosRun(script [][]chaosEvent, inj fault.Injector, cpEvery int) (transcript, finals string, degraded int, err error) {
+	db, err := chaosDB()
+	if err != nil {
+		return "", "", 0, err
+	}
+	b := NewBroker(db)
+	b.setSleep(func(time.Duration) {})
+	b.SetCheckpointEvery(cpEvery)
+	if inj != nil {
+		b.SetInjector(inj)
+	}
+	subs := []Subscription{
+		{Name: "east", Query: chaosEastQuery, Condition: Every(7), QoS: chaosQoS},
+		{Name: "west", Query: chaosWestQuery, Condition: Every(11), QoS: chaosQoS},
+	}
+	for i := range subs {
+		model, merr := chaosModel()
+		if merr != nil {
+			return "", "", 0, merr
+		}
+		subs[i].Model = model
+		if err := b.Subscribe(subs[i]); err != nil {
+			return "", "", 0, err
+		}
+	}
+	var out strings.Builder
+	for t, evs := range script {
+		for _, ev := range evs {
+			if err := b.Publish(ev.table, ev.mod); err != nil {
+				return "", "", 0, fmt.Errorf("step %d: publish %s: %w", t, ev.table, err)
+			}
+		}
+		ns, err := b.EndStep()
+		if err != nil {
+			return "", "", 0, fmt.Errorf("step %d: %w", t, err)
+		}
+		for _, n := range ns {
+			if n.Degraded {
+				degraded++
+			} else if !core.ApproxLE(n.RefreshCost, chaosQoS) {
+				return "", "", 0, fmt.Errorf("step %d: %s: non-degraded refresh cost %.6g > QoS %.6g",
+					t, n.Subscription, n.RefreshCost, chaosQoS)
+			}
+			fmt.Fprintf(&out, "step=%d sub=%s degraded=%v behind=%d over=%.9g cost=%.9g rows=%s\n",
+				n.Step, n.Subscription, n.Degraded, n.StepsBehind, n.CostOvershoot,
+				n.RefreshCost, renderRows(n.Rows))
+		}
+	}
+	var fin strings.Builder
+	for _, sc := range subs {
+		rows, err := b.Result(sc.Name)
+		if err != nil {
+			return "", "", 0, err
+		}
+		fmt.Fprintf(&fin, "%s: %s\n", sc.Name, renderRows(rows))
+	}
+	return out.String(), fin.String(), degraded, nil
+}
+
+// renderRows renders rows canonically for byte comparison.
+func renderRows(rows []storage.Row) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = storage.EncodeKey(r...)
+	}
+	return strings.Join(parts, "|")
+}
+
+// RunChaos runs the seeded workload fault-free and faulted, and compares
+// the two executions. The faulted run's injector is seeded with the same
+// seed as the workload, so the whole comparison is reproducible from one
+// integer.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 60
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 5
+	}
+	if cfg.Rates == (fault.Rates{}) {
+		cfg.Rates = fault.DefaultRates()
+	}
+	script := chaosScript(cfg.Seed, cfg.Steps)
+
+	baseT, baseF, _, err := chaosRun(script, nil, cfg.CheckpointEvery)
+	if err != nil {
+		return nil, fmt.Errorf("chaos seed %d: baseline run: %w", cfg.Seed, err)
+	}
+	inj := fault.NewSeeded(cfg.Seed, cfg.Rates)
+	faultT, faultF, degraded, err := chaosRun(script, inj, cfg.CheckpointEvery)
+	if err != nil {
+		return nil, fmt.Errorf("chaos seed %d: faulted run: %w", cfg.Seed, err)
+	}
+
+	rep := &ChaosReport{
+		Seed:          cfg.Seed,
+		Steps:         cfg.Steps,
+		Notifications: strings.Count(baseT, "\n"),
+		Faults:        inj.Fired(),
+		TotalFaults:   inj.Total(),
+		Degraded:      degraded,
+		Identical:     baseT == faultT && baseF == faultF,
+	}
+	if !rep.Identical {
+		rep.Diff = firstDiff(baseT+baseF, faultT+faultF)
+	}
+	return rep, nil
+}
+
+// firstDiff excerpts the first divergence between two transcripts.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) || i < len(lb); i++ {
+		va, vb := "", ""
+		if i < len(la) {
+			va = la[i]
+		}
+		if i < len(lb) {
+			vb = lb[i]
+		}
+		if va != vb {
+			return fmt.Sprintf("line %d:\n  baseline: %s\n  faulted:  %s", i+1, va, vb)
+		}
+	}
+	return ""
+}

@@ -14,9 +14,12 @@
 package pubsub
 
 import (
+	"bytes"
 	"fmt"
+	"time"
 
 	"abivm/internal/core"
+	"abivm/internal/fault"
 	"abivm/internal/ivm"
 	"abivm/internal/policy"
 	"abivm/internal/storage"
@@ -40,11 +43,25 @@ func Every(n int) Condition {
 type Notification struct {
 	Subscription string
 	Step         int
-	// Rows is the refreshed content of the subscription's query.
+	// Rows is the refreshed content of the subscription's query. For a
+	// degraded notification it is instead the last consistent snapshot —
+	// stale but never half-applied, since every drain is atomic.
 	Rows []storage.Row
 	// RefreshCost is the model cost of bringing the content up to date;
-	// the broker guarantees RefreshCost <= the subscription's QoS bound.
+	// for non-degraded notifications the broker guarantees RefreshCost <=
+	// the subscription's QoS bound. For degraded notifications it covers
+	// only the drains that committed before the refresh gave up.
 	RefreshCost float64
+	// Degraded marks a notification delivered in degraded mode: the
+	// refresh could not be completed within the broker's retry budget.
+	Degraded bool
+	// StepsBehind is the number of steps since the subscription's content
+	// was last fully refreshed; 0 for fresh notifications.
+	StepsBehind int
+	// CostOvershoot is how far the pending refresh cost exceeds the QoS
+	// bound C at delivery time — the unrepaired part of the constraint.
+	// 0 when the bound holds (always, for non-degraded notifications).
+	CostOvershoot float64
 }
 
 // Subscription couples a content query with its QoS parameters.
@@ -69,6 +86,14 @@ type sub struct {
 	aliasIdx map[string]int
 	stepMods core.Vector
 	total    float64
+
+	// Fault-tolerance state: the subscription's redo log, its latest
+	// checkpoint bytes (the recovery point), the last step a full refresh
+	// succeeded, and whether the QoS promise is currently broken.
+	wal       *ivm.WAL
+	cp        []byte
+	lastFresh int
+	degraded  bool
 }
 
 // Broker owns the base tables and dispatches modifications to
@@ -77,10 +102,48 @@ type Broker struct {
 	db   *storage.DB
 	subs []*sub
 	step int
+
+	inj      fault.Injector
+	retryPol RetryPolicy
+	cpEvery  int
+	sleep    func(time.Duration)
 }
 
+// DefaultCheckpointEvery is the default checkpoint cadence in steps.
+const DefaultCheckpointEvery = 8
+
 // NewBroker wraps a database of base tables.
-func NewBroker(db *storage.DB) *Broker { return &Broker{db: db} }
+func NewBroker(db *storage.DB) *Broker {
+	return &Broker{
+		db:       db,
+		retryPol: DefaultRetryPolicy(),
+		cpEvery:  DefaultCheckpointEvery,
+		sleep:    time.Sleep,
+	}
+}
+
+// SetInjector installs a fault injector on the broker and every current
+// and future subscription's maintainer. Pass nil to disable injection.
+func (b *Broker) SetInjector(inj fault.Injector) {
+	if _, ok := inj.(fault.Nop); ok {
+		inj = nil
+	}
+	b.inj = inj
+	for _, s := range b.subs {
+		s.m.SetInjector(inj)
+	}
+}
+
+// SetRetryPolicy replaces the broker's retry budget.
+func (b *Broker) SetRetryPolicy(r RetryPolicy) { b.retryPol = r }
+
+// SetCheckpointEvery sets the checkpoint cadence in steps; n <= 0
+// disables periodic checkpoints (the Subscribe-time checkpoint remains
+// the recovery point, with the whole WAL replayed on recovery).
+func (b *Broker) SetCheckpointEvery(n int) { b.cpEvery = n }
+
+// setSleep replaces the backoff sleeper (tests use a no-op).
+func (b *Broker) setSleep(f func(time.Duration)) { b.sleep = f }
 
 // Subscribe registers a subscription; its initial content is computed
 // immediately.
@@ -112,10 +175,25 @@ func (b *Broker) Subscribe(cfg Subscription) error {
 		pol = policy.NewOnlineMarginal(cfg.Model, cfg.QoS, nil)
 	}
 	pol.Reset(n)
-	s := &sub{cfg: cfg, m: m, pol: pol, aliasIdx: map[string]int{}, stepMods: core.NewVector(n)}
+	s := &sub{
+		cfg: cfg, m: m, pol: pol,
+		aliasIdx: map[string]int{}, stepMods: core.NewVector(n),
+		wal: ivm.NewWAL(), lastFresh: b.step,
+	}
 	for i, a := range m.Aliases() {
 		s.aliasIdx[a] = i
 	}
+	// Durability from the first step: attach the redo log and take the
+	// initial checkpoint, so a crash at any later point has a recovery
+	// point. The injector is attached only after the checkpoint — the
+	// subscription must be born with a consistent recovery baseline.
+	m.AttachWAL(s.wal)
+	var cp bytes.Buffer
+	if err := m.Checkpoint(&cp); err != nil {
+		return fmt.Errorf("pubsub: subscription %q: initial checkpoint: %w", cfg.Name, err)
+	}
+	s.cp = cp.Bytes()
+	m.SetInjector(b.inj)
 	b.subs = append(b.subs, s)
 	return nil
 }
@@ -186,52 +264,162 @@ func applyDirect(db *storage.DB, table string, mod ivm.Mod) error {
 // EndStep closes a time step: every subscription's policy may drain its
 // delta queues, and subscriptions whose conditions fire are refreshed
 // and notified. The returned notifications carry the refreshed contents.
+//
+// EndStep keeps the broker's QoS promise under faults: transient drain
+// failures are retried within the step's budget; a crash event recovers
+// the maintainer from its checkpoint plus WAL before the step's work;
+// and when the constraint still can't be repaired, the subscription
+// degrades — notifications carry the last consistent snapshot tagged
+// with explicit staleness instead of the broker erroring out — and
+// heals on the next successful drain. Only policy-contract violations
+// and non-injected internal errors abort the step.
 func (b *Broker) EndStep() ([]Notification, error) {
 	var out []Notification
 	for _, s := range b.subs {
+		if err := b.maybeCrash(s); err != nil {
+			return nil, err
+		}
 		pending := core.Vector(s.m.Pending())
 		act := s.pol.Act(b.step, s.stepMods.Clone(), pending.Clone(), false)
-		s.stepMods = core.NewVector(len(s.stepMods))
 		if !act.NonNegative() || !act.DominatedBy(pending) {
 			return nil, fmt.Errorf("pubsub: %s: policy returned out-of-range action %v", s.cfg.Name, act)
 		}
+		s.stepMods = core.NewVector(len(s.stepMods))
+		drained := !act.IsZero()
 		if _, err := b.process(s, act); err != nil {
-			return nil, err
+			if !fault.Transient(err) {
+				return nil, err
+			}
+			// The retry budget is spent and the drain rolled back; carry
+			// the backlog forward in degraded mode.
+			s.degraded = true
+			drained = false
 		}
-		if post := pending.Sub(act); s.cfg.Model.Full(post, s.cfg.QoS) {
-			return nil, fmt.Errorf("pubsub: %s: policy %s left refresh cost %.4g > QoS %.4g",
-				s.cfg.Name, s.pol.Name(), s.cfg.Model.Total(post), s.cfg.QoS)
+		if post := core.Vector(s.m.Pending()); s.cfg.Model.Full(post, s.cfg.QoS) {
+			if !s.degraded {
+				return nil, fmt.Errorf("pubsub: %s: policy %s left refresh cost %.4g > QoS %.4g",
+					s.cfg.Name, s.pol.Name(), s.cfg.Model.Total(post), s.cfg.QoS)
+			}
+			// Degraded: the bound is broken by failed drains, not by the
+			// policy; the overshoot is reported on the next notification.
+		} else if s.degraded && drained {
+			// A drain committed and brought the backlog back under the
+			// bound: healed.
+			s.degraded = false
 		}
 		if s.cfg.Condition(b.step) {
-			cost, err := b.process(s, core.Vector(s.m.Pending()))
+			n, err := b.notify(s)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, Notification{
-				Subscription: s.cfg.Name,
-				Step:         b.step,
-				Rows:         s.m.Result(),
-				RefreshCost:  cost,
-			})
+			out = append(out, n)
 		}
+	}
+	if err := b.checkpointDue(); err != nil {
+		return nil, err
 	}
 	b.step++
 	return out, nil
 }
 
-// process drains act[i] modifications from each of s's queues.
+// notify refreshes s fully and builds its notification. A refresh that
+// fails even after retries yields a degraded notification carrying the
+// last consistent snapshot and explicit staleness instead of an error.
+func (b *Broker) notify(s *sub) (Notification, error) {
+	cost, err := b.process(s, core.Vector(s.m.Pending()))
+	if err == nil {
+		s.degraded = false
+		s.lastFresh = b.step
+		return Notification{
+			Subscription: s.cfg.Name,
+			Step:         b.step,
+			Rows:         s.m.Result(),
+			RefreshCost:  cost,
+		}, nil
+	}
+	if !fault.Transient(err) {
+		return Notification{}, err
+	}
+	s.degraded = true
+	over := s.cfg.Model.Total(core.Vector(s.m.Pending())) - s.cfg.QoS
+	if over < 0 {
+		over = 0
+	}
+	return Notification{
+		Subscription:  s.cfg.Name,
+		Step:          b.step,
+		Rows:          s.m.Result(),
+		RefreshCost:   cost,
+		Degraded:      true,
+		StepsBehind:   b.step - s.lastFresh,
+		CostOvershoot: over,
+	}, nil
+}
+
+// maybeCrash polls the crash site and, when it fires, simulates a
+// maintainer crash: the in-memory state is dropped and rebuilt from the
+// last checkpoint plus the WAL. A failed recovery is fatal — there is
+// nothing sound left to degrade to.
+func (b *Broker) maybeCrash(s *sub) error {
+	if b.inj == nil || b.inj.Hit(fault.SiteCrash) == nil {
+		return nil
+	}
+	m, err := ivm.Recover(b.db, s.cfg.Query, bytes.NewReader(s.cp), s.wal)
+	if err != nil {
+		return fmt.Errorf("pubsub: %s: recovery failed: %w", s.cfg.Name, err)
+	}
+	m.SetInjector(b.inj)
+	s.m = m
+	return nil
+}
+
+// checkpointDue takes the periodic per-subscription checkpoints and
+// truncates the covered WAL prefixes. An injected checkpoint failure
+// skips that subscription's checkpoint — recovery simply replays a
+// longer WAL suffix, so nothing degrades.
+func (b *Broker) checkpointDue() error {
+	if b.cpEvery <= 0 || (b.step+1)%b.cpEvery != 0 {
+		return nil
+	}
+	for _, s := range b.subs {
+		if b.inj != nil {
+			if err := b.inj.Hit(fault.SiteCheckpoint); err != nil {
+				if fault.Transient(err) {
+					continue
+				}
+				return err
+			}
+		}
+		lsn := s.wal.LastLSN()
+		var cp bytes.Buffer
+		if err := s.m.Checkpoint(&cp); err != nil {
+			return fmt.Errorf("pubsub: %s: checkpoint: %w", s.cfg.Name, err)
+		}
+		s.cp = cp.Bytes()
+		s.wal.TruncateThrough(lsn)
+	}
+	return nil
+}
+
+// process drains act[i] modifications from each of s's queues. Each
+// per-table drain is atomic in the maintainer and retried within the
+// broker's budget, so on error the completed prefix has committed, the
+// failed drain has rolled back, and the returned cost covers exactly the
+// committed work.
 func (b *Broker) process(s *sub, act core.Vector) (float64, error) {
 	cost := 0.0
 	for i, alias := range s.m.Aliases() {
 		if act[i] == 0 {
 			continue
 		}
-		if err := s.m.ProcessBatch(alias, act[i]); err != nil {
-			return 0, err
+		alias, k := alias, act[i]
+		if err := b.retry(func() error { return s.m.ProcessBatch(alias, k) }); err != nil {
+			return cost, err
 		}
-		cost += s.cfg.Model.TableCost(i, act[i])
+		c := s.cfg.Model.TableCost(i, k)
+		cost += c
+		s.total += c
 	}
-	s.total += cost
 	return cost, nil
 }
 
@@ -254,4 +442,32 @@ func (b *Broker) Result(name string) ([]storage.Row, error) {
 		}
 	}
 	return nil, fmt.Errorf("pubsub: no subscription %q", name)
+}
+
+// Health is a snapshot of one subscription's fault-tolerance state.
+type Health struct {
+	// Degraded reports whether the QoS promise is currently broken.
+	Degraded bool
+	// StepsBehind counts steps since the last successful full refresh.
+	StepsBehind int
+	// Pending is the per-table delta queue state (the paper's vector s).
+	Pending []int
+	// WALRecords is the number of redo-log records retained (not yet
+	// covered by a checkpoint).
+	WALRecords int
+}
+
+// Health reports a subscription's fault-tolerance status.
+func (b *Broker) Health(name string) (Health, error) {
+	for _, s := range b.subs {
+		if s.cfg.Name == name {
+			return Health{
+				Degraded:    s.degraded,
+				StepsBehind: b.step - s.lastFresh,
+				Pending:     s.m.Pending(),
+				WALRecords:  s.wal.Len(),
+			}, nil
+		}
+	}
+	return Health{}, fmt.Errorf("pubsub: no subscription %q", name)
 }

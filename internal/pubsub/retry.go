@@ -1,0 +1,73 @@
+package pubsub
+
+import (
+	"time"
+
+	"abivm/internal/fault"
+)
+
+// RetryPolicy bounds the broker's retry-with-backoff loop around
+// fallible maintenance operations. Retries model the paper's step
+// budget: a step has room for a bounded number of repair attempts before
+// the broker must move on (degrading the subscription rather than
+// blocking the stream).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values below 1 behave as 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each subsequent
+	// retry doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy returns the broker's standard budget. MaxAttempts
+// exceeds 1 + fault.MaxRun * (number of in-drain injection sites), so
+// every transient fault the Seeded injector can produce is cleared
+// within budget — the invariant the chaos determinism property rests on.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 2 + 3*fault.MaxRun,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+	}
+}
+
+// delay returns the backoff before the attempt-th retry (attempt >= 1).
+func (r RetryPolicy) delay(attempt int) time.Duration {
+	d := r.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if r.MaxDelay > 0 && d >= r.MaxDelay {
+			return r.MaxDelay
+		}
+	}
+	if r.MaxDelay > 0 && d > r.MaxDelay {
+		return r.MaxDelay
+	}
+	return d
+}
+
+// retry runs op until it succeeds, fails with a non-transient error, or
+// exhausts the attempt budget, sleeping the backoff between attempts.
+// Only injected-transient failures (fault.Transient) are retried: the
+// operations the broker wraps are atomic (failed drains roll back), so a
+// retry always restarts from the pre-action state.
+func (b *Broker) retry(op func() error) error {
+	attempts := b.retryPol.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			b.sleep(b.retryPol.delay(attempt))
+		}
+		err = op()
+		if err == nil || !fault.Transient(err) {
+			return err
+		}
+	}
+	return err
+}

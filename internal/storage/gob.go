@@ -1,0 +1,53 @@
+package storage
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Gob support for Value: the type has unexported payload fields, so it
+// implements gob.GobEncoder/GobDecoder explicitly. This makes Row (and
+// any struct embedding Values, like ivm's modification records) directly
+// encodable — the checkpoint format of the recovery subsystem relies on
+// it. The encoding is a one-byte type tag followed by a textual payload;
+// floats use hexadecimal notation, which round-trips exactly.
+
+// GobEncode implements gob.GobEncoder.
+func (v Value) GobEncode() ([]byte, error) {
+	switch v.T {
+	case TInt:
+		return strconv.AppendInt([]byte{'i'}, v.i, 10), nil
+	case TFloat:
+		return strconv.AppendFloat([]byte{'f'}, v.f, 'x', -1, 64), nil
+	case TString:
+		return append([]byte{'s'}, v.s...), nil
+	}
+	return nil, fmt.Errorf("storage: gob-encoding value of unknown type %d", uint8(v.T))
+}
+
+// GobDecode implements gob.GobDecoder.
+func (v *Value) GobDecode(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("storage: gob-decoding empty value payload")
+	}
+	tag, payload := data[0], string(data[1:])
+	switch tag {
+	case 'i':
+		i, err := strconv.ParseInt(payload, 10, 64)
+		if err != nil {
+			return fmt.Errorf("storage: gob-decoding int value: %w", err)
+		}
+		*v = I(i)
+	case 'f':
+		f, err := strconv.ParseFloat(payload, 64)
+		if err != nil {
+			return fmt.Errorf("storage: gob-decoding float value: %w", err)
+		}
+		*v = F(f)
+	case 's':
+		*v = S(payload)
+	default:
+		return fmt.Errorf("storage: gob-decoding value with unknown tag %q", tag)
+	}
+	return nil
+}

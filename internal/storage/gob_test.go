@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+func TestValueGobRoundTrip(t *testing.T) {
+	vals := []Value{
+		I(0), I(-1), I(42), I(math.MaxInt64), I(math.MinInt64),
+		F(0), F(-1.5), F(0.1), F(math.Pi), F(math.SmallestNonzeroFloat64),
+		F(math.MaxFloat64), F(math.Inf(1)), F(math.Inf(-1)),
+		S(""), S("hello"), S("with \x00 byte and unicode ✓"),
+	}
+	for _, v := range vals {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		var got Value
+		if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if got.T != v.T || Compare(got, v) != 0 {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestValueGobNaN(t *testing.T) {
+	// NaN != NaN, so check the bit pattern survives instead of Compare.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(F(math.NaN())); err != nil {
+		t.Fatal(err)
+	}
+	var got Value
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.T != TFloat || !math.IsNaN(got.Float()) {
+		t.Errorf("NaN round trip produced %v", got)
+	}
+}
+
+func TestRowGobRoundTrip(t *testing.T) {
+	row := Row{I(7), F(2.25), S("x")}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(row); err != nil {
+		t.Fatal(err)
+	}
+	var got Row
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(row) {
+		t.Fatalf("row length %d, want %d", len(got), len(row))
+	}
+	for i := range row {
+		if !Equal(got[i], row[i]) {
+			t.Errorf("col %d: %v != %v", i, got[i], row[i])
+		}
+	}
+}
+
+func TestValueGobDecodeErrors(t *testing.T) {
+	var v Value
+	if err := v.GobDecode(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := v.GobDecode([]byte("z123")); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	if err := v.GobDecode([]byte("inot-a-number")); err == nil {
+		t.Error("bad int payload accepted")
+	}
+	if err := v.GobDecode([]byte("fnot-a-number")); err == nil {
+		t.Error("bad float payload accepted")
+	}
+}

@@ -15,6 +15,6 @@ echo "==> abivmlint"
 go run ./cmd/abivmlint ./...
 
 echo "==> go test -race"
-go test -race ./...
+go test -race -timeout "${TEST_TIMEOUT:-10m}" ./...
 
 echo "OK"
