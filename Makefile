@@ -3,7 +3,7 @@ GO ?= go
 # retry loop, stuck worker pool) fails the run instead of wedging it.
 TEST_TIMEOUT ?= 10m
 
-.PHONY: build test race lint vet verify chaos bench bench-quick
+.PHONY: build test race lint vet verify chaos bench bench-quick serve-smoke
 
 build:
 	$(GO) build ./...
@@ -38,3 +38,8 @@ bench:
 # bench-quick is the CI smoke: one iteration of the headline benches.
 bench-quick:
 	sh scripts/bench.sh -quick -label quick
+
+# serve-smoke boots `abivm serve` and asserts the ops endpoints answer
+# with the required metric series.
+serve-smoke:
+	sh scripts/serve_smoke.sh

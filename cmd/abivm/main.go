@@ -35,6 +35,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "       abivm explain [query]\n")
 		fmt.Fprintf(os.Stderr, "       abivm sim [-costs a:b,..] [-rates r,..] [-C x] [-T n]\n")
 		fmt.Fprintf(os.Stderr, "       abivm chaos [-seed n] [-runs k] [-steps t]\n")
+		fmt.Fprintf(os.Stderr, "       abivm serve [-addr host:port] [-seed n] [-interval d] [-faults] [-pprof]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,6 +60,11 @@ func main() {
 		return
 	case "chaos":
 		if err := runChaos(ctx, flag.Args()[1:]); err != nil {
+			fail(err)
+		}
+		return
+	case "serve":
+		if err := runServe(ctx, flag.Args()[1:]); err != nil {
 			fail(err)
 		}
 		return

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"abivm/internal/fault"
+	"abivm/internal/obs"
+	"abivm/internal/pubsub"
+)
+
+// runServe implements `abivm serve`: it drives the demo pub/sub workload
+// (the chaos harness's stations/sales stream with the east/west
+// subscriptions) at a fixed step interval and exposes the observability
+// endpoint over it:
+//
+//	/metrics          broker/maintainer/fault metrics (text; ?format=json)
+//	/healthz          per-subscription health, HTTP 503 while any is degraded
+//	/traces           recent step/sub/notify spans, newest first
+//	/debug/pprof/...  net/http/pprof, only with -pprof
+//
+//	abivm serve -addr 127.0.0.1:8080 -seed 1 -interval 50ms -faults
+func runServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	seed := fs.Int64("seed", 1, "workload, fault, and jitter seed")
+	interval := fs.Duration("interval", 50*time.Millisecond, "broker step interval")
+	steps := fs.Int("steps", 0, "stop after this many steps (0 = run until interrupted)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	faults := fs.Bool("faults", false, "run the workload under seeded fault injection")
+	tracebuf := fs.Int("tracebuf", obs.DefaultTraceCapacity, "span ring-buffer capacity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var inj fault.Injector
+	if *faults {
+		inj = fault.NewSeeded(*seed, fault.DefaultRates())
+	}
+	w, err := pubsub.NewDemoWorkload(*seed, inj)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(*tracebuf)
+	w.Broker.SetObs(reg, tr)
+
+	mux := obs.NewMux(obs.Options{
+		Registry: reg,
+		Tracer:   tr,
+		Health:   brokerHealth(w.Broker),
+		Pprof:    *pprofOn,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("abivm serve: http://%s (seed=%d interval=%s faults=%v)\n", ln.Addr(), *seed, *interval, *faults)
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	var stepErr error
+loop:
+	for n := 0; *steps == 0 || n < *steps; n++ {
+		select {
+		case <-ctx.Done():
+			break loop
+		case err := <-serveErr:
+			return fmt.Errorf("serve: http server: %w", err)
+		case <-ticker.C:
+			if _, err := w.Step(); err != nil {
+				stepErr = fmt.Errorf("serve: workload step: %w", err)
+				break loop
+			}
+		}
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		if stepErr == nil {
+			stepErr = fmt.Errorf("serve: shutdown: %w", err)
+		}
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && stepErr == nil {
+		stepErr = fmt.Errorf("serve: http server: %w", err)
+	}
+	return stepErr
+}
+
+// brokerHealth aggregates per-subscription broker health into the
+// /healthz probe: healthy iff no subscription is degraded.
+func brokerHealth(b *pubsub.Broker) obs.HealthFunc {
+	return func() (any, bool) {
+		type subHealth struct {
+			Name string `json:"name"`
+			pubsub.Health
+		}
+		healthy := true
+		subs := []subHealth{}
+		for _, name := range b.Subscriptions() {
+			h, err := b.Health(name)
+			if err != nil {
+				continue
+			}
+			if h.Degraded {
+				healthy = false
+			}
+			subs = append(subs, subHealth{Name: name, Health: h})
+		}
+		return map[string]any{"subscriptions": subs}, healthy
+	}
+}

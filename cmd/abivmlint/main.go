@@ -1,11 +1,12 @@
 // Command abivmlint is the domain-aware static-analysis suite for the
-// abivm tree. It bundles four analyzers over invariants the compiler
+// abivm tree. It bundles five analyzers over invariants the compiler
 // cannot check:
 //
-//	vecalias  core.Vector parameters retained without Clone()
-//	floateq   ==/!= between float64s in cost-bearing packages
-//	errdrop   discarded error return values in internal/... and cmd/...
-//	panicdoc  undocumented panics on the exported abivm / core surface
+//	vecalias    core.Vector parameters retained without Clone()
+//	floateq     ==/!= between float64s in cost-bearing packages
+//	errdrop     discarded error return values in internal/... and cmd/...
+//	panicdoc    undocumented panics on the exported abivm / core surface
+//	metricname  dynamic (non-constant) metric names registered on obs.Registry
 //
 // Usage:
 //
@@ -26,6 +27,7 @@ import (
 	"abivm/internal/lint"
 	"abivm/internal/lint/errdrop"
 	"abivm/internal/lint/floateq"
+	"abivm/internal/lint/metricname"
 	"abivm/internal/lint/panicdoc"
 	"abivm/internal/lint/vecalias"
 )
@@ -35,6 +37,7 @@ var all = []*lint.Analyzer{
 	floateq.Analyzer,
 	errdrop.Analyzer,
 	panicdoc.Analyzer,
+	metricname.Analyzer,
 }
 
 func main() {

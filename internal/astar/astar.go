@@ -61,6 +61,9 @@ type Options struct {
 	// quantifies how much plan quality Definition 3 trades for its much
 	// smaller search space.
 	AllowNonMinimal bool
+	// Metrics, when non-nil, accumulates search statistics (node counts,
+	// open-heap peak, heuristic tightness) into an obs registry.
+	Metrics *Metrics
 }
 
 // Result carries the optimal LGM plan and search statistics.
@@ -69,6 +72,7 @@ type Result struct {
 	Cost      float64
 	Expanded  int // nodes dequeued and expanded
 	Generated int // successor edges generated
+	HeapPeak  int // largest open-list length reached
 }
 
 // ErrBudgetExceeded is returned when MaxExpansions is hit before the
@@ -430,10 +434,11 @@ func (s *searcher) run() (*Result, error) {
 	*src = pqItem{t: -1, state: s.getVec(), key: nodeKey{t: -1}}
 	src.h = s.h(src.t, src.state)
 	src.d = src.h
+	rootH := src.h
 	s.items[src.key] = src
 	heap.Push(&s.open, src)
 
-	res := &Result{}
+	res := &Result{HeapPeak: 1}
 	for s.open.Len() > 0 {
 		it := heap.Pop(&s.open).(*pqItem)
 		delete(s.items, it.key)
@@ -452,9 +457,13 @@ func (s *searcher) run() (*Result, error) {
 		if it.key == destKey {
 			res.Cost = it.g
 			res.Plan = s.reconstruct(destKey)
+			s.opts.Metrics.observeSearch(res, rootH, res.HeapPeak)
 			return res, nil
 		}
 		s.expand(it, res)
+		if n := len(s.open); n > res.HeapPeak {
+			res.HeapPeak = n
+		}
 		s.recycleItem(it)
 	}
 	return nil, errors.New("astar: destination unreachable (internal invariant violated)")

@@ -1,0 +1,55 @@
+package astar
+
+import "abivm/internal/obs"
+
+// Metrics is the planner's instrumentation bundle. Attach it through
+// Options.Metrics; a nil bundle (the default) keeps the search free of
+// any measurement work. Counters aggregate across searches — the
+// per-search numbers stay available on Result — while HeapPeak tracks
+// the worst open-list size seen by any search sharing the bundle.
+type Metrics struct {
+	// Searches counts completed Search calls (budget-exceeded and failed
+	// searches are not counted; their partial work still lands in
+	// Expanded/Generated via Result only).
+	Searches *obs.Counter
+	// Expanded and Generated accumulate the per-search statistics of the
+	// same names on Result.
+	Expanded  *obs.Counter
+	Generated *obs.Counter
+	// HeapPeak is the high-water open-list length across searches — the
+	// search's dominant memory driver.
+	HeapPeak *obs.Gauge
+	// HeuristicRatio observes h(source)/C* per search: how tight the
+	// root heuristic estimate was against the actual optimal cost. A
+	// ratio near 1 means M_i is doing almost all the pruning work.
+	HeuristicRatio *obs.Histogram
+}
+
+// NewMetrics registers the planner instruments on r and returns the
+// bundle (nil registry yields nil, the detached bundle).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Searches:       r.Counter("astar_searches_total"),
+		Expanded:       r.Counter("astar_nodes_expanded_total"),
+		Generated:      r.Counter("astar_edges_generated_total"),
+		HeapPeak:       r.Gauge("astar_open_heap_peak"),
+		HeuristicRatio: r.Histogram("astar_heuristic_cost_ratio", obs.RatioBuckets()),
+	}
+}
+
+// observeSearch records one successful search.
+func (ms *Metrics) observeSearch(res *Result, rootH float64, heapPeak int) {
+	if ms == nil {
+		return
+	}
+	ms.Searches.Inc()
+	ms.Expanded.Add(int64(res.Expanded))
+	ms.Generated.Add(int64(res.Generated))
+	ms.HeapPeak.SetMax(float64(heapPeak))
+	if res.Cost > 0 {
+		ms.HeuristicRatio.Observe(rootH / res.Cost)
+	}
+}

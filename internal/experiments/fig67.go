@@ -40,7 +40,7 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		times = []int{40, 80, 120, 160, 200}
 		t0 = 120
 	}
-	adaptPlan, err := optPlanUniform(model, c, t0)
+	adaptPlan, err := optPlanUniform(model, c, t0, cfg.searchOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +65,7 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 			return err
 		}
 		res.Naive[i] = in.Cost(in.NaivePlan())
-		opt, err := astar.Search(in, astar.Options{})
+		opt, err := astar.Search(in, cfg.searchOptions())
 		if err != nil {
 			return err
 		}
@@ -75,12 +75,12 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 			return err
 		}
 		res.Adapt[i] = adaptRun.TotalCost
-		onlineRun, err := sim.Run(in, policy.NewOnline(model, c, nil), sim.Options{})
+		onlineRun, err := sim.Run(in, cfg.newOnline(model, c), sim.Options{})
 		if err != nil {
 			return err
 		}
 		res.Online[i] = onlineRun.TotalCost
-		onlineMRun, err := sim.Run(in, policy.NewOnlineMarginal(model, c, nil), sim.Options{})
+		onlineMRun, err := sim.Run(in, cfg.newOnlineMarginal(model, c), sim.Options{})
 		if err != nil {
 			return err
 		}
@@ -95,13 +95,13 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 
 // optPlanUniform computes the optimal LGM plan for a uniform (1,1) stream
 // over [0, t0].
-func optPlanUniform(model *core.CostModel, c float64, t0 int) (core.Plan, error) {
+func optPlanUniform(model *core.CostModel, c float64, t0 int, opts astar.Options) (core.Plan, error) {
 	seq := arrivals.UniformSequence(t0+1, 1, 1)
 	in, err := core.NewInstance(seq, model, c)
 	if err != nil {
 		return nil, err
 	}
-	res, err := astar.Search(in, astar.Options{})
+	res, err := astar.Search(in, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -197,17 +197,17 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 		}
 		cl := &cells[idx]
 		cl.naive = in.Cost(in.NaivePlan())
-		optRes, err := astar.Search(in, astar.Options{})
+		optRes, err := astar.Search(in, cfg.searchOptions())
 		if err != nil {
 			return err
 		}
 		cl.opt = optRes.Cost
-		onlineRun, err := sim.Run(in, policy.NewOnline(model, c, nil), sim.Options{})
+		onlineRun, err := sim.Run(in, cfg.newOnline(model, c), sim.Options{})
 		if err != nil {
 			return err
 		}
 		cl.online = onlineRun.TotalCost
-		onlineMRun, err := sim.Run(in, policy.NewOnlineMarginal(model, c, nil), sim.Options{})
+		onlineMRun, err := sim.Run(in, cfg.newOnlineMarginal(model, c), sim.Options{})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"abivm/internal/astar"
+	"abivm/internal/core"
+	"abivm/internal/policy"
+)
+
+// Instrumentation plumbing for the sweeps: each helper resolves
+// Config.Obs into the matching layer's metrics bundle. With Obs nil
+// every helper degrades to the uninstrumented construction, so the
+// benched figure paths stay measurement-free by default. The registry is
+// idempotent per (name, labels), so concurrent sweep workers calling
+// these helpers share one set of instruments.
+
+// searchOptions returns the planner options for a sweep cell with the
+// config's metrics sink attached.
+func (cfg Config) searchOptions() astar.Options {
+	return astar.Options{Metrics: astar.NewMetrics(cfg.Obs)}
+}
+
+// newOnline builds an ONLINE policy reporting to the config's sink.
+func (cfg Config) newOnline(model *core.CostModel, c float64) *policy.Online {
+	p := policy.NewOnline(model, c, nil)
+	p.SetMetrics(policy.NewMetrics(cfg.Obs, p.Name()))
+	return p
+}
+
+// newOnlineMarginal builds an ONLINE-M policy reporting to the config's
+// sink.
+func (cfg Config) newOnlineMarginal(model *core.CostModel, c float64) *policy.OnlineMarginal {
+	p := policy.NewOnlineMarginal(model, c, nil)
+	p.SetMetrics(policy.NewMetrics(cfg.Obs, p.Name()))
+	return p
+}

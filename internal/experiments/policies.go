@@ -49,7 +49,7 @@ func Policies(cfg Config) (*PoliciesResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	adaptPlan, err := optPlanUniform(model, c, adaptT0)
+	adaptPlan, err := optPlanUniform(model, c, adaptT0, astar.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -193,12 +193,13 @@ const MaxRun = 2
 // concurrent use, though determinism then depends on the callers'
 // sequencing.
 type Seeded struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
-	rates Rates
-	seq   int
-	run   map[Site]int // current consecutive-failure run length
-	fired map[Site]int
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rates    Rates
+	seq      int
+	run      map[Site]int // current consecutive-failure run length
+	fired    map[Site]int
+	observer func(Site, Kind)
 }
 
 // NewSeeded returns an injector drawing from rates with the given seed.
@@ -227,7 +228,21 @@ func (s *Seeded) Hit(site Site) error {
 	s.run[site]++
 	s.seq++
 	s.fired[site]++
+	if s.observer != nil {
+		s.observer(site, kindOf(site))
+	}
 	return &Error{Site: site, Kind: kindOf(site), Seq: s.seq}
+}
+
+// SetObserver installs a callback invoked (under the injector's lock)
+// for every injected fault. This is the package's instrumentation seam:
+// fault stays dependency-free while metrics layers count injections per
+// site. The callback must not call back into the injector. A nil
+// callback detaches.
+func (s *Seeded) SetObserver(fn func(Site, Kind)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
 }
 
 // Fired returns a copy of the per-site injected-fault counts.

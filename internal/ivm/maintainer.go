@@ -3,6 +3,7 @@ package ivm
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"abivm/internal/exec"
 	"abivm/internal/fault"
@@ -42,6 +43,10 @@ type Maintainer struct {
 	// sites (see internal/fault).
 	wal *WAL
 	inj fault.Injector
+
+	// Observability hook: nil (the default) means no measurement work at
+	// all on the drain path, including time.Now calls.
+	obs *Metrics
 }
 
 type bagEntry struct {
@@ -118,6 +123,10 @@ func (m *Maintainer) WAL() *WAL { return m.wal }
 // SetInjector installs a fault injector consulted at the drain sites; a
 // nil injector (the default) disables injection.
 func (m *Maintainer) SetInjector(inj fault.Injector) { m.inj = inj }
+
+// SetMetrics attaches an instrumentation bundle (see NewMetrics); nil
+// (the default) detaches and restores the zero-measurement fast path.
+func (m *Maintainer) SetMetrics(ms *Metrics) { m.obs = ms }
 
 // hit consults the fault injector at a site.
 func (m *Maintainer) hit(site fault.Site) error {
@@ -359,6 +368,16 @@ func (m *Maintainer) Pending() []int {
 // point. Work units charged to Stats by a failed attempt are not undone:
 // failed work is still work.
 func (m *Maintainer) ProcessBatch(alias string, k int) error {
+	if m.obs == nil {
+		return m.processBatch(alias, k)
+	}
+	start := time.Now()
+	err := m.processBatch(alias, k)
+	m.obs.observeDrain(time.Since(start), k, err)
+	return err
+}
+
+func (m *Maintainer) processBatch(alias string, k int) error {
 	queue, ok := m.deltas[alias]
 	if !ok {
 		if _, known := m.tables[alias]; !known {

@@ -1,0 +1,121 @@
+package ivm
+
+import (
+	"time"
+
+	"abivm/internal/obs"
+)
+
+// Metrics is the maintainer's instrumentation bundle: drain latency and
+// throughput, redo-log activity, checkpoint cost, and recovery replay
+// length. Attach one bundle per registry via Maintainer.SetMetrics /
+// WAL.SetMetrics; several maintainers may share a bundle (every
+// instrument is atomic), which is exactly what the broker does — the
+// histograms then aggregate across subscriptions. A nil *Metrics is the
+// detached state: every recording helper no-ops and the hot paths skip
+// all measurement work, including time.Now calls.
+type Metrics struct {
+	// Drains counts ProcessBatch attempts with k > 0; DrainFailures the
+	// attempts that returned an error (injected or real).
+	Drains        *obs.Counter
+	DrainFailures *obs.Counter
+	// DrainLatency observes the wall-clock seconds of committed drains.
+	DrainLatency *obs.Histogram
+	// DrainedMods counts modifications folded into views by committed
+	// drains — the runtime's integral of the paper's batch sizes k.
+	DrainedMods *obs.Counter
+
+	// WALAppends counts redo-log appends (arrivals and drain commits);
+	// the in-memory WAL has no separate fsync, so an append is also the
+	// durability point. WALRecords tracks the retained suffix length.
+	WALAppends     *obs.Counter
+	WALTruncations *obs.Counter
+	WALRecords     *obs.Gauge
+
+	// Checkpoints counts successful Checkpoint calls; bytes and seconds
+	// observe each checkpoint's size and duration.
+	Checkpoints       *obs.Counter
+	CheckpointBytes   *obs.Histogram
+	CheckpointSeconds *obs.Histogram
+
+	// Recoveries counts successful Recover calls; RecoveryReplay
+	// observes the WAL suffix length each recovery replayed.
+	Recoveries     *obs.Counter
+	RecoveryReplay *obs.Histogram
+}
+
+// NewMetrics registers the maintainer instruments on r and returns the
+// bundle (nil registry yields nil, the detached bundle).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Drains:         r.Counter("ivm_drains_total"),
+		DrainFailures:  r.Counter("ivm_drain_failures_total"),
+		DrainLatency:   r.Histogram("ivm_drain_latency_seconds", obs.LatencyBuckets()),
+		DrainedMods:    r.Counter("ivm_drained_mods_total"),
+		WALAppends:     r.Counter("ivm_wal_appends_total"),
+		WALTruncations: r.Counter("ivm_wal_truncations_total"),
+		WALRecords:     r.Gauge("ivm_wal_records"),
+		Checkpoints:    r.Counter("ivm_checkpoints_total"),
+		CheckpointBytes: r.Histogram("ivm_checkpoint_bytes",
+			obs.SizeBuckets()),
+		CheckpointSeconds: r.Histogram("ivm_checkpoint_seconds", obs.LatencyBuckets()),
+		Recoveries:        r.Counter("ivm_recoveries_total"),
+		RecoveryReplay: r.Histogram("ivm_recovery_replayed_records",
+			[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}),
+	}
+}
+
+// observeDrain records one ProcessBatch outcome.
+func (ms *Metrics) observeDrain(elapsed time.Duration, k int, err error) {
+	if ms == nil {
+		return
+	}
+	ms.Drains.Inc()
+	if err != nil {
+		ms.DrainFailures.Inc()
+		return
+	}
+	ms.DrainLatency.Observe(elapsed.Seconds())
+	ms.DrainedMods.Add(int64(k))
+}
+
+// observeCheckpoint records one successful Checkpoint.
+func (ms *Metrics) observeCheckpoint(elapsed time.Duration, bytes int) {
+	if ms == nil {
+		return
+	}
+	ms.Checkpoints.Inc()
+	ms.CheckpointBytes.Observe(float64(bytes))
+	ms.CheckpointSeconds.Observe(elapsed.Seconds())
+}
+
+// observeRecovery records one successful Recover with the replayed
+// record count.
+func (ms *Metrics) observeRecovery(replayed int) {
+	if ms == nil {
+		return
+	}
+	ms.Recoveries.Inc()
+	ms.RecoveryReplay.Observe(float64(replayed))
+}
+
+// observeWALAppend / observeWALTruncate record redo-log activity with
+// the retained length after the operation.
+func (ms *Metrics) observeWALAppend(retained int) {
+	if ms == nil {
+		return
+	}
+	ms.WALAppends.Inc()
+	ms.WALRecords.Set(float64(retained))
+}
+
+func (ms *Metrics) observeWALTruncate(retained int) {
+	if ms == nil {
+		return
+	}
+	ms.WALTruncations.Inc()
+	ms.WALRecords.Set(float64(retained))
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"time"
 
 	"abivm/internal/storage"
 )
@@ -31,6 +32,31 @@ type checkpointDTO struct {
 // checkpoint covers (LSN and below) may be truncated from the WAL
 // afterwards; Recover replays only records past the checkpoint.
 func (m *Maintainer) Checkpoint(w io.Writer) error {
+	if m.obs == nil {
+		return m.checkpoint(w)
+	}
+	cw := &countingWriter{w: w}
+	start := time.Now()
+	err := m.checkpoint(cw)
+	if err == nil {
+		m.obs.observeCheckpoint(time.Since(start), cw.n)
+	}
+	return err
+}
+
+// countingWriter measures checkpoint size without buffering it.
+type countingWriter struct {
+	w io.Writer
+	n int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	return n, err
+}
+
+func (m *Maintainer) checkpoint(w io.Writer) error {
 	var replica bytes.Buffer
 	if err := m.replica.WriteSnapshot(&replica); err != nil {
 		return fmt.Errorf("ivm: checkpoint replica snapshot: %w", err)
@@ -62,6 +88,15 @@ func (m *Maintainer) Checkpoint(w io.Writer) error {
 // WAL is attached to the returned maintainer; replayed work is not
 // re-logged.
 func Recover(live *storage.DB, query string, cp io.Reader, wal *WAL) (*Maintainer, error) {
+	return RecoverWithMetrics(live, query, cp, wal, nil)
+}
+
+// RecoverWithMetrics is Recover with an instrumentation bundle: a
+// successful recovery is counted, its replayed WAL suffix length is
+// observed, and ms is attached to the recovered maintainer so its
+// post-recovery drains keep reporting to the same registry. A nil ms is
+// exactly Recover.
+func RecoverWithMetrics(live *storage.DB, query string, cp io.Reader, wal *WAL, ms *Metrics) (*Maintainer, error) {
 	var dto checkpointDTO
 	if err := gob.NewDecoder(cp).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("ivm: decoding checkpoint: %w", err)
@@ -97,8 +132,10 @@ func Recover(live *storage.DB, query string, cp io.Reader, wal *WAL) (*Maintaine
 	}
 	// Redo the log suffix. The WAL (and injector) stay detached during
 	// replay: recovery must not re-log records or pick up new faults.
+	replayed := 0
 	if wal != nil {
 		for _, rec := range wal.Since(dto.LSN) {
+			replayed++
 			switch rec.Kind {
 			case WALArrival:
 				if _, ok := m.tables[rec.Mod.Alias]; !ok {
@@ -115,6 +152,8 @@ func Recover(live *storage.DB, query string, cp io.Reader, wal *WAL) (*Maintaine
 		}
 	}
 	m.wal = wal
+	m.obs = ms
+	ms.observeRecovery(replayed)
 	// Replay work is recovery overhead, not maintenance cost.
 	*m.stats = storage.Stats{}
 	return m, nil

@@ -45,18 +45,31 @@ type WAL struct {
 	mu   sync.Mutex
 	recs []WALRecord
 	next uint64
+	obs  *Metrics
 }
 
 // NewWAL returns an empty log.
 func NewWAL() *WAL { return &WAL{next: 1} }
 
+// SetMetrics attaches an instrumentation bundle recording appends,
+// truncations, and the retained record count; nil detaches.
+func (w *WAL) SetMetrics(ms *Metrics) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.obs = ms
+}
+
 // Append assigns the next LSN to rec and appends it, returning the LSN.
+// With the in-memory log the append itself is the durability point (a
+// file-backed log would fsync here), so the append counter doubles as
+// the sync counter.
 func (w *WAL) Append(rec WALRecord) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	rec.LSN = w.next
 	w.next++
 	w.recs = append(w.recs, rec)
+	w.obs.observeWALAppend(len(w.recs))
 	return rec.LSN, nil
 }
 
@@ -92,6 +105,7 @@ func (w *WAL) TruncateThrough(lsn uint64) {
 		i++
 	}
 	w.recs = append(w.recs[:0], w.recs[i:]...)
+	w.obs.observeWALTruncate(len(w.recs))
 }
 
 // Len returns the number of retained records.

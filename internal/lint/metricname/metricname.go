@@ -1,0 +1,87 @@
+// Package metricname flags metric registrations whose name is not a
+// compile-time constant. The obs registry keys instruments by name, the
+// exposition format is scraped by dashboards and the serve smoke test,
+// and DESIGN.md carries the metric catalog — all three assume the set of
+// series names is fixed at build time. A name computed at runtime
+// (fmt.Sprintf, a variable, a concatenation with data) silently grows
+// the registry without bound and produces series nobody catalogued;
+// variable *label values* are the supported way to parameterize a
+// metric, and stay untouched.
+package metricname
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"abivm/internal/lint"
+)
+
+// Analyzer is the metricname check.
+var Analyzer = &lint.Analyzer{
+	Name: "metricname",
+	Doc: "flags obs.Registry Counter/Gauge/Histogram registrations whose " +
+		"metric name is not a compile-time constant string",
+	Run: run,
+}
+
+// registration methods on *obs.Registry whose first argument is the
+// metric name.
+var registerMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func run(pass *lint.Pass) error {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !registerMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isRegistryMethod(fn) || len(call.Args) == 0 {
+				return true
+			}
+			name := call.Args[0]
+			tv, ok := info.Types[name]
+			if !ok || tv.Value == nil {
+				pass.Reportf(name.Pos(),
+					"metric name passed to Registry.%s is not a compile-time constant; "+
+						"use a const name and put variable parts in label values",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistryMethod reports whether fn is a method of the internal/obs
+// Registry type (the receiver may be *Registry or Registry).
+func isRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}

@@ -1,0 +1,11 @@
+package metricname
+
+import (
+	"testing"
+
+	"abivm/internal/lint"
+)
+
+func TestMetricNameFixture(t *testing.T) {
+	lint.RunFixture(t, Analyzer, "testdata/src/metricky")
+}

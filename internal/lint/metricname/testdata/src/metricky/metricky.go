@@ -1,0 +1,43 @@
+// Package metricky is a metricname fixture: dynamic metric names in
+// every registration method are positives; constant names — including
+// ones built from constants and carrying variable label values — are the
+// documented negative space.
+package metricky
+
+import (
+	"fmt"
+
+	"abivm/internal/obs"
+)
+
+const prefix = "metricky_"
+
+func dynamicNames(r *obs.Registry, which string) {
+	r.Counter("metricky_" + which)                            // want "not a compile-time constant"
+	r.Gauge(fmt.Sprintf("metricky_%s_depth", which))          // want "not a compile-time constant"
+	r.Histogram(which, obs.LatencyBuckets())                  // want "not a compile-time constant"
+	r.Counter(prefix+which, "site", "drain")                  // want "not a compile-time constant"
+	(r.Gauge)(fmt.Sprint("g", 1))                             // want "not a compile-time constant"
+	r.Counter(func() string { return "metricky_fn_total" }()) // want "not a compile-time constant"
+}
+
+func constantNames(r *obs.Registry, sub string) {
+	const local = "metricky_local_total"
+	r.Counter("metricky_steps_total")
+	r.Counter(prefix + "drains_total") // constant concatenation folds at compile time
+	r.Gauge(local)
+	r.Histogram("metricky_latency_seconds", obs.LatencyBuckets())
+	// Variable label values are the supported parameterization.
+	r.Counter("metricky_sub_notes_total", "sub", sub)
+	r.Gauge("metricky_sub_behind", "sub", fmt.Sprintf("%s-replica", sub))
+}
+
+// other.Counter with a non-Registry receiver must stay quiet even with a
+// dynamic argument.
+type other struct{}
+
+func (other) Counter(name string) {}
+
+func notARegistry(o other, which string) {
+	o.Counter("free_" + which)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// The live ops endpoint: a plain http.ServeMux over the registry,
+// tracer, and a caller-supplied health probe. The mux is transport-only
+// — it owns no goroutines and no state, so `abivm serve` (and any
+// embedder) decides address, lifetime, and shutdown.
+//
+//	/metrics   text exposition (Prometheus-shaped); ?format=json for JSON
+//	/healthz   JSON health report; HTTP 503 when unhealthy
+//	/traces    recent finished spans, newest first; ?n= limits the count
+//	/debug/pprof/...  net/http/pprof, only when Options.Pprof is set
+
+// HealthFunc reports the runtime's health: an arbitrary JSON-renderable
+// detail value and whether the runtime considers itself healthy.
+type HealthFunc func() (detail any, healthy bool)
+
+// Options configures NewMux. Nil fields disable the matching endpoint's
+// content (the route still responds, with empty data).
+type Options struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Health   HealthFunc
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints expose goroutine dumps and should be opted
+	// into per deployment.
+	Pprof bool
+}
+
+// NewMux builds the ops endpoint routes.
+func NewMux(o Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" || req.Header.Get("Accept") == "application/json" {
+			writeJSON(w, http.StatusOK, map[string]any{"metrics": o.Registry.Snapshot()})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetricsText(w, o.Registry)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		detail, healthy := any(nil), true
+		if o.Health != nil {
+			detail, healthy = o.Health()
+		}
+		status := http.StatusOK
+		if !healthy {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{"healthy": healthy, "detail": detail})
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "traces: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		spans := o.Tracer.Recent(n)
+		writeJSON(w, http.StatusOK, map[string]any{"spans": spans, "dropped": o.Tracer.Dropped()})
+	})
+	if o.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// writeJSON renders v with the given status. Encode errors past the
+// header write can only be client disconnects; they are ignored on
+// purpose.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return
+	}
+}
+
+// WriteMetricsText renders the registry in the Prometheus text format
+// (counters and gauges as single samples, histograms as cumulative
+// _bucket/_sum/_count series). A nil registry renders nothing.
+func WriteMetricsText(w io.Writer, r *Registry) {
+	lastName := ""
+	for _, s := range r.Snapshot() {
+		if s.Name != lastName {
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Type)
+			lastName = s.Name
+		}
+		switch s.Type {
+		case "histogram":
+			for _, b := range s.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.UpperBound, 1) {
+					le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelText(s.Labels, Label{Key: "le", Value: le}), b.Count)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labelText(s.Labels), formatValue(s.Sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelText(s.Labels), s.Count)
+		default:
+			fmt.Fprintf(w, "%s%s %s\n", s.Name, labelText(s.Labels), formatValue(s.Value))
+		}
+	}
+}
+
+// labelText renders {k="v",...} or "" for no labels.
+func labelText(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	return id("", all)
+}
+
+// formatValue renders a float sample without trailing noise.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracing: lightweight spans with parent/child links and per-span
+// attributes, recorded into a bounded ring buffer when they finish. The
+// design target is a long-lived maintenance runtime, not a distributed
+// tracer: spans are cheap enough to wrap every broker step, the ring
+// keeps only the recent past (the /traces endpoint's working set), and
+// everything degrades to a no-op when no tracer is attached — a nil
+// *Tracer starts nil *Spans whose methods all no-op, so instrumented
+// code carries no sink-attached conditionals.
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is a finished span as stored in the ring and returned by
+// Recent.
+type SpanRecord struct {
+	ID     uint64    `json:"id"`
+	Parent uint64    `json:"parent,omitempty"` // 0 for root spans
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	// Duration is End - Start.
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Span is one in-flight operation. Create with Tracer.Start or
+// Span.Child; call End exactly once to record it. A Span's setters are
+// safe for concurrent use, though typical spans live on one goroutine.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// Tracer records finished spans into a fixed-capacity ring buffer,
+// overwriting the oldest. It is safe for concurrent use.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	buf     []SpanRecord
+	pos     int // next write slot
+	n       int // live records (<= cap)
+	dropped uint64
+}
+
+// DefaultTraceCapacity is the ring size NewTracer uses for cap <= 0.
+const DefaultTraceCapacity = 1024
+
+// NewTracer returns a tracer retaining the most recent cap spans
+// (DefaultTraceCapacity when cap <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]SpanRecord, capacity)}
+}
+
+// Start opens a root span. On a nil tracer it returns nil, and every
+// method of a nil *Span no-ops, so call sites never check for a sink.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, id: t.nextID.Add(1), name: name, start: time.Now()}
+}
+
+// Child opens a span parented to s (nil-safe: a nil parent yields nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.tr.Start(name)
+	c.parent = s.id
+	return c
+}
+
+// Attr attaches a key/value attribute.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End finishes the span and records it; second and later calls no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.tr.record(SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    attrs,
+	})
+}
+
+// record appends into the ring, overwriting the oldest when full.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	if t.n == len(t.buf) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.buf[t.pos] = rec
+	t.pos = (t.pos + 1) % len(t.buf)
+	t.mu.Unlock()
+}
+
+// Recent returns up to n finished spans, newest first (all retained
+// spans when n <= 0). The result is caller-owned. A nil tracer returns
+// nil.
+func (t *Tracer) Recent(n int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.n {
+		n = t.n
+	}
+	out := make([]SpanRecord, n)
+	for i := 0; i < n; i++ {
+		idx := (t.pos - 1 - i + len(t.buf)) % len(t.buf)
+		out[i] = t.buf[idx]
+	}
+	return out
+}
+
+// Dropped returns the number of spans overwritten before they could be
+// read — the ring's loss counter (0 on a nil tracer).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

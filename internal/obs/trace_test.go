@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSpanParentChildAndAttrs(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("step")
+	root.Attr("step", "3")
+	child := root.Child("drain")
+	child.Attr("alias", "PS")
+	child.End()
+	root.End()
+
+	recs := tr.Recent(0)
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(recs))
+	}
+	// Newest first: root ended last.
+	if recs[0].Name != "step" || recs[1].Name != "drain" {
+		t.Fatalf("order = %s, %s; want step, drain", recs[0].Name, recs[1].Name)
+	}
+	if recs[1].Parent != recs[0].ID {
+		t.Fatalf("child parent = %d, want root id %d", recs[1].Parent, recs[0].ID)
+	}
+	if recs[0].Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", recs[0].Parent)
+	}
+	if len(recs[1].Attrs) != 1 || recs[1].Attrs[0] != (Attr{Key: "alias", Value: "PS"}) {
+		t.Fatalf("child attrs = %v", recs[1].Attrs)
+	}
+	if recs[0].Duration < 0 {
+		t.Fatalf("negative duration %v", recs[0].Duration)
+	}
+}
+
+func TestRingBoundedAndNewestFirst(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		s := tr.Start("s")
+		s.Attr("i", string(rune('0'+i)))
+		s.End()
+	}
+	recs := tr.Recent(0)
+	if len(recs) != 4 {
+		t.Fatalf("retained %d spans, want 4 (ring capacity)", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ID >= recs[i-1].ID {
+			t.Fatalf("spans not newest-first: id %d before %d", recs[i-1].ID, recs[i].ID)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	if got := tr.Recent(2); len(got) != 2 {
+		t.Fatalf("Recent(2) returned %d spans", len(got))
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer(8)
+	s := tr.Start("once")
+	s.End()
+	s.End()
+	if got := len(tr.Recent(0)); got != 1 {
+		t.Fatalf("recorded %d spans after double End, want 1", got)
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	c := s.Child("y")
+	s.Attr("k", "v")
+	c.Attr("k", "v")
+	c.End()
+	s.End()
+	if tr.Recent(5) != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report nothing")
+	}
+}
+
+// TestConcurrentSpans exercises the ring under parallel writers; with
+// -race this is the tracer's race-cleanliness proof.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := tr.Start("op")
+				s.Attr("w", "x")
+				s.Child("inner").End()
+				s.End()
+				if i%100 == 0 {
+					tr.Recent(10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Recent(0)); got != 64 {
+		t.Fatalf("ring holds %d spans, want 64", got)
+	}
+}

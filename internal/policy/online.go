@@ -88,6 +88,7 @@ type Online struct {
 	model *core.CostModel
 	c     float64
 	est   RateEstimator
+	obs   *Metrics
 
 	costSoFar float64
 	steps     int // steps observed since Reset; used as t in H when t=0
@@ -105,6 +106,10 @@ func NewOnline(model *core.CostModel, c float64, est RateEstimator) *Online {
 // Name implements Policy.
 func (p *Online) Name() string { return "ONLINE" }
 
+// SetMetrics attaches an instrumentation bundle (see NewMetrics); nil
+// (the default) detaches.
+func (p *Online) SetMetrics(ms *Metrics) { p.obs = ms }
+
 // Reset implements Policy.
 func (p *Online) Reset(n int) {
 	p.est.Reset(n)
@@ -119,6 +124,7 @@ func (p *Online) Act(t int, d, pre core.Vector, refresh bool) core.Vector {
 	if refresh {
 		act := pre.Clone()
 		p.costSoFar += p.model.Total(act)
+		p.obs.observeRefresh()
 		return act
 	}
 	if !p.model.Full(pre, p.c) {
@@ -134,6 +140,7 @@ func (p *Online) Act(t int, d, pre core.Vector, refresh bool) core.Vector {
 		}
 	}
 	p.costSoFar += p.model.Total(best)
+	p.obs.observeDecision(len(candidates), best)
 	return best
 }
 

@@ -22,6 +22,7 @@ type OnlineMarginal struct {
 	model *core.CostModel
 	c     float64
 	est   RateEstimator
+	obs   *Metrics
 	inner *Online // reuses the TTF machinery
 }
 
@@ -37,6 +38,11 @@ func NewOnlineMarginal(model *core.CostModel, c float64, est RateEstimator) *Onl
 // Name implements Policy.
 func (p *OnlineMarginal) Name() string { return "ONLINE-M" }
 
+// SetMetrics attaches an instrumentation bundle (see NewMetrics); nil
+// (the default) detaches. The inner TTF machinery stays unmetered — its
+// decisions are this policy's, not ONLINE's.
+func (p *OnlineMarginal) SetMetrics(ms *Metrics) { p.obs = ms }
+
 // Reset implements Policy.
 func (p *OnlineMarginal) Reset(n int) { p.inner.Reset(n) }
 
@@ -44,6 +50,7 @@ func (p *OnlineMarginal) Reset(n int) { p.inner.Reset(n) }
 func (p *OnlineMarginal) Act(t int, d, pre core.Vector, refresh bool) core.Vector {
 	p.est.Observe(d)
 	if refresh {
+		p.obs.observeRefresh()
 		return pre.Clone()
 	}
 	if !p.model.Full(pre, p.c) {
@@ -59,5 +66,6 @@ func (p *OnlineMarginal) Act(t int, d, pre core.Vector, refresh bool) core.Vecto
 			best, bestScore = q, score
 		}
 	}
+	p.obs.observeDecision(len(candidates), best)
 	return best
 }

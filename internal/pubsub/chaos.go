@@ -2,7 +2,6 @@ package pubsub
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 	"time"
 
@@ -111,39 +110,13 @@ func chaosDB() (*storage.DB, error) {
 }
 
 // chaosScript pregenerates the per-step modification schedule, so the
-// baseline and faulted runs see the exact same stream.
+// baseline and faulted runs see the exact same stream. The generator
+// itself lives in workload.go (eventGen), shared with the serve demo.
 func chaosScript(seed int64, steps int) [][]chaosEvent {
-	rng := rand.New(rand.NewSource(seed))
-	live := make([]int64, 0, 40+steps*2)
-	for i := int64(0); i < 40; i++ {
-		live = append(live, i)
-	}
-	next := int64(40)
+	g := newEventGen(seed)
 	script := make([][]chaosEvent, steps)
-	for t := 0; t < steps; t++ {
-		var evs []chaosEvent
-		for n := 1 + rng.Intn(2); n > 0; n-- {
-			row := storage.Row{storage.I(next), storage.I(int64(rng.Intn(8))), storage.F(float64(1 + rng.Intn(20)))}
-			evs = append(evs, chaosEvent{table: "sales", mod: ivm.Insert("", row)})
-			live = append(live, next)
-			next++
-		}
-		if rng.Float64() < 0.30 && len(live) > 8 {
-			i := rng.Intn(len(live))
-			key := live[i]
-			live = append(live[:i], live[i+1:]...)
-			evs = append(evs, chaosEvent{table: "sales", mod: ivm.Delete("", storage.I(key))})
-		}
-		if rng.Float64() < 0.25 {
-			k := int64(rng.Intn(8))
-			region := "EAST"
-			if rng.Intn(2) == 1 {
-				region = "WEST"
-			}
-			evs = append(evs, chaosEvent{table: "stations", mod: ivm.Update("",
-				[]storage.Value{storage.I(k)}, storage.Row{storage.I(k), storage.S(region)})})
-		}
-		script[t] = evs
+	for t := range script {
+		script[t] = g.step()
 	}
 	return script
 }
@@ -172,28 +145,26 @@ const (
 // chaosRun executes the scripted workload against a fresh broker under
 // the given injector and returns the rendered notification transcript,
 // the rendered final view contents, and the degraded-notification count.
-func chaosRun(script [][]chaosEvent, inj fault.Injector, cpEvery int) (transcript, finals string, degraded int, err error) {
+// The retry jitter is seeded from the same seed as the workload, so the
+// backoff sequence is part of the reproducible execution, not noise.
+func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery int) (transcript, finals string, degraded int, err error) {
 	db, err := chaosDB()
 	if err != nil {
 		return "", "", 0, err
 	}
 	b := NewBroker(db)
 	b.setSleep(func(time.Duration) {})
+	b.SetRetrySeed(seed)
 	b.SetCheckpointEvery(cpEvery)
 	if inj != nil {
 		b.SetInjector(inj)
 	}
-	subs := []Subscription{
-		{Name: "east", Query: chaosEastQuery, Condition: Every(7), QoS: chaosQoS},
-		{Name: "west", Query: chaosWestQuery, Condition: Every(11), QoS: chaosQoS},
+	subs, err := demoSubscriptions()
+	if err != nil {
+		return "", "", 0, err
 	}
-	for i := range subs {
-		model, merr := chaosModel()
-		if merr != nil {
-			return "", "", 0, merr
-		}
-		subs[i].Model = model
-		if err := b.Subscribe(subs[i]); err != nil {
+	for _, sc := range subs {
+		if err := b.Subscribe(sc); err != nil {
 			return "", "", 0, err
 		}
 	}
@@ -256,12 +227,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	}
 	script := chaosScript(cfg.Seed, cfg.Steps)
 
-	baseT, baseF, _, err := chaosRun(script, nil, cfg.CheckpointEvery)
+	baseT, baseF, _, err := chaosRun(script, cfg.Seed, nil, cfg.CheckpointEvery)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d: baseline run: %w", cfg.Seed, err)
 	}
 	inj := fault.NewSeeded(cfg.Seed, cfg.Rates)
-	faultT, faultF, degraded, err := chaosRun(script, inj, cfg.CheckpointEvery)
+	faultT, faultF, degraded, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d: faulted run: %w", cfg.Seed, err)
 	}

@@ -1,0 +1,230 @@
+package pubsub
+
+import (
+	"strconv"
+	"time"
+
+	"abivm/internal/core"
+	"abivm/internal/fault"
+	"abivm/internal/ivm"
+	"abivm/internal/obs"
+)
+
+// brokerObs is the broker's instrumentation bundle. A nil *brokerObs —
+// the default until SetObs — is the detached state: every method is a
+// nil-receiver no-op and the step loop performs no measurement work at
+// all (no time.Now, no gauge math). Every instrument is registered at
+// attach time with a constant name; per-subscription series differ only
+// in the `sub` label.
+type brokerObs struct {
+	reg *obs.Registry
+	tr  *obs.Tracer
+
+	steps         *obs.Counter
+	stepLatency   *obs.Histogram
+	publishes     *obs.Counter
+	notifications *obs.Counter
+	degradedNotes *obs.Counter
+	degradedSteps *obs.Counter
+	retries       *obs.Counter
+	retryGiveups  *obs.Counter
+	crashRecovers *obs.Counter
+	refreshCost   *obs.Histogram
+
+	// ivm is the maintainer-layer bundle shared by every subscription's
+	// maintainer and WAL; its histograms aggregate across subscriptions.
+	ivm *ivm.Metrics
+}
+
+func newBrokerObs(reg *obs.Registry, tr *obs.Tracer) *brokerObs {
+	return &brokerObs{
+		reg:           reg,
+		tr:            tr,
+		steps:         reg.Counter("pubsub_steps_total"),
+		stepLatency:   reg.Histogram("pubsub_step_latency_seconds", obs.LatencyBuckets()),
+		publishes:     reg.Counter("pubsub_publishes_total"),
+		notifications: reg.Counter("pubsub_notifications_total"),
+		degradedNotes: reg.Counter("pubsub_degraded_notifications_total"),
+		degradedSteps: reg.Counter("pubsub_degraded_sub_steps_total"),
+		retries:       reg.Counter("pubsub_retries_total"),
+		retryGiveups:  reg.Counter("pubsub_retry_giveups_total"),
+		crashRecovers: reg.Counter("pubsub_crash_recoveries_total"),
+		refreshCost:   reg.Histogram("pubsub_refresh_cost", obs.SizeBuckets()),
+		ivm:           ivm.NewMetrics(reg),
+	}
+}
+
+// subObs holds one subscription's labeled series. The gauges mirror the
+// Health snapshot continuously: steps-behind, QoS overshoot, backlog
+// size, degraded flag, and retained WAL length.
+type subObs struct {
+	notifications *obs.Counter
+	degradedNotes *obs.Counter
+	stepsBehind   *obs.Gauge
+	costOvershoot *obs.Gauge
+	pendingMods   *obs.Gauge
+	degraded      *obs.Gauge
+	walRecords    *obs.Gauge
+}
+
+func newSubObs(reg *obs.Registry, name string) *subObs {
+	return &subObs{
+		notifications: reg.Counter("pubsub_sub_notifications_total", "sub", name),
+		degradedNotes: reg.Counter("pubsub_sub_degraded_notifications_total", "sub", name),
+		stepsBehind:   reg.Gauge("pubsub_sub_steps_behind", "sub", name),
+		costOvershoot: reg.Gauge("pubsub_sub_cost_overshoot", "sub", name),
+		pendingMods:   reg.Gauge("pubsub_sub_pending_mods", "sub", name),
+		degraded:      reg.Gauge("pubsub_sub_degraded", "sub", name),
+		walRecords:    reg.Gauge("pubsub_sub_wal_records", "sub", name),
+	}
+}
+
+// SetObs attaches an observability sink: all broker-level instruments,
+// per-subscription gauges (labeled `sub`), the shared maintainer/WAL
+// bundle, span recording on tr (nil disables tracing only), and — when
+// the current injector is a *fault.Seeded — a per-site fault counter via
+// its observer hook. Subscriptions added later are wired on Subscribe.
+// A nil registry detaches everything.
+func (b *Broker) SetObs(reg *obs.Registry, tr *obs.Tracer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if reg == nil {
+		b.obs = nil
+		for _, s := range b.subs {
+			s.obs = nil
+			s.m.SetMetrics(nil)
+			s.wal.SetMetrics(nil)
+		}
+		if seeded, ok := b.inj.(*fault.Seeded); ok {
+			seeded.SetObserver(nil)
+		}
+		return
+	}
+	b.obs = newBrokerObs(reg, tr)
+	for _, s := range b.subs {
+		b.wireSub(s)
+	}
+	b.observeInjector()
+}
+
+// wireSub attaches the current sink to one subscription. Caller holds
+// b.mu.
+func (b *Broker) wireSub(s *sub) {
+	if b.obs == nil {
+		return
+	}
+	s.obs = newSubObs(b.obs.reg, s.cfg.Name)
+	s.m.SetMetrics(b.obs.ivm)
+	s.wal.SetMetrics(b.obs.ivm)
+}
+
+// observeInjector hooks the fault counter into a seeded injector. Caller
+// holds b.mu.
+func (b *Broker) observeInjector() {
+	if b.obs == nil {
+		return
+	}
+	seeded, ok := b.inj.(*fault.Seeded)
+	if !ok {
+		return
+	}
+	reg := b.obs.reg
+	seeded.SetObserver(func(site fault.Site, kind fault.Kind) {
+		reg.Counter("fault_injections_total", "site", string(site), "kind", kind.String()).Inc()
+	})
+}
+
+// startStep opens the step's root span and latency clock; with no sink
+// attached it returns a nil span and a zero time without touching the
+// clock.
+func (o *brokerObs) startStep(step int) (*obs.Span, time.Time) {
+	if o == nil {
+		return nil, time.Time{}
+	}
+	sp := o.tr.Start("step")
+	sp.Attr("step", strconv.Itoa(step))
+	return sp, time.Now()
+}
+
+// observeStep closes out a successfully completed step.
+func (o *brokerObs) observeStep(start time.Time) {
+	if o == nil {
+		return
+	}
+	o.steps.Inc()
+	o.stepLatency.Observe(time.Since(start).Seconds())
+}
+
+func (o *brokerObs) observePublish() {
+	if o == nil {
+		return
+	}
+	o.publishes.Inc()
+}
+
+// observeNotification records a delivered notification on the broker
+// and subscription series.
+func (o *brokerObs) observeNotification(s *sub, n Notification) {
+	if o == nil {
+		return
+	}
+	o.notifications.Inc()
+	o.refreshCost.Observe(n.RefreshCost)
+	s.obs.notifications.Inc()
+	s.obs.stepsBehind.Set(float64(n.StepsBehind))
+	s.obs.costOvershoot.Set(n.CostOvershoot)
+	if n.Degraded {
+		o.degradedNotes.Inc()
+		s.obs.degradedNotes.Inc()
+	}
+}
+
+func (o *brokerObs) observeRetry() {
+	if o == nil {
+		return
+	}
+	o.retries.Inc()
+}
+
+func (o *brokerObs) observeRetryGiveup() {
+	if o == nil {
+		return
+	}
+	o.retryGiveups.Inc()
+}
+
+func (o *brokerObs) observeCrashRecovery() {
+	if o == nil {
+		return
+	}
+	o.crashRecovers.Inc()
+}
+
+// syncSub refreshes a subscription's gauges after its share of a step
+// and accumulates degraded time. Caller guarantees o != nil checks are
+// unnecessary only via the nil-receiver no-op.
+func (o *brokerObs) syncSub(b *Broker, s *sub) {
+	if o == nil {
+		return
+	}
+	pending := core.Vector(s.m.Pending())
+	total := 0
+	for _, k := range pending {
+		total += k
+	}
+	s.obs.pendingMods.Set(float64(total))
+	s.obs.stepsBehind.Set(float64(b.step - s.lastFresh))
+	s.obs.walRecords.Set(float64(s.wal.Len()))
+	if s.degraded {
+		s.obs.degraded.Set(1)
+		o.degradedSteps.Inc()
+		over := s.cfg.Model.Total(pending) - s.cfg.QoS
+		if over < 0 {
+			over = 0
+		}
+		s.obs.costOvershoot.Set(over)
+	} else {
+		s.obs.degraded.Set(0)
+		s.obs.costOvershoot.Set(0)
+	}
+}

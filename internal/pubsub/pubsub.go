@@ -16,6 +16,8 @@ package pubsub
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 
 	"abivm/internal/core"
@@ -94,19 +96,30 @@ type sub struct {
 	cp        []byte
 	lastFresh int
 	degraded  bool
+
+	// obs holds the subscription's labeled metric series; nil until the
+	// broker has a sink attached (see SetObs).
+	obs *subObs
 }
 
 // Broker owns the base tables and dispatches modifications to
-// subscriptions.
+// subscriptions. All exported methods are safe for concurrent use: the
+// mutators (Subscribe, Publish, EndStep, the setters) serialize on an
+// internal lock while the read-only accessors (Health, Result,
+// TotalCost, Subscriptions) share it — which is what lets a live ops
+// endpoint scrape health while the workload loop runs.
 type Broker struct {
+	mu   sync.RWMutex
 	db   *storage.DB
 	subs []*sub
 	step int
 
 	inj      fault.Injector
 	retryPol RetryPolicy
+	retryRNG *rand.Rand // seeded jitter source; nil disables jitter
 	cpEvery  int
 	sleep    func(time.Duration)
+	obs      *brokerObs
 }
 
 // DefaultCheckpointEvery is the default checkpoint cadence in steps.
@@ -125,6 +138,8 @@ func NewBroker(db *storage.DB) *Broker {
 // SetInjector installs a fault injector on the broker and every current
 // and future subscription's maintainer. Pass nil to disable injection.
 func (b *Broker) SetInjector(inj fault.Injector) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if _, ok := inj.(fault.Nop); ok {
 		inj = nil
 	}
@@ -132,22 +147,48 @@ func (b *Broker) SetInjector(inj fault.Injector) {
 	for _, s := range b.subs {
 		s.m.SetInjector(inj)
 	}
+	b.observeInjector()
 }
 
 // SetRetryPolicy replaces the broker's retry budget.
-func (b *Broker) SetRetryPolicy(r RetryPolicy) { b.retryPol = r }
+func (b *Broker) SetRetryPolicy(r RetryPolicy) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.retryPol = r
+}
+
+// SetRetrySeed seeds the backoff-jitter source. Jitter is always drawn
+// from this broker-owned, seeded generator — never from the global rand
+// — so runs with the same seed and schedule produce byte-identical
+// backoff sequences, keeping chaos executions replayable. Without a
+// seed (the default) backoff has no jitter at all.
+func (b *Broker) SetRetrySeed(seed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.retryRNG = rand.New(rand.NewSource(seed))
+}
 
 // SetCheckpointEvery sets the checkpoint cadence in steps; n <= 0
 // disables periodic checkpoints (the Subscribe-time checkpoint remains
 // the recovery point, with the whole WAL replayed on recovery).
-func (b *Broker) SetCheckpointEvery(n int) { b.cpEvery = n }
+func (b *Broker) SetCheckpointEvery(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cpEvery = n
+}
 
 // setSleep replaces the backoff sleeper (tests use a no-op).
-func (b *Broker) setSleep(f func(time.Duration)) { b.sleep = f }
+func (b *Broker) setSleep(f func(time.Duration)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sleep = f
+}
 
 // Subscribe registers a subscription; its initial content is computed
 // immediately.
 func (b *Broker) Subscribe(cfg Subscription) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if cfg.Name == "" {
 		return fmt.Errorf("pubsub: subscription needs a name")
 	}
@@ -194,6 +235,7 @@ func (b *Broker) Subscribe(cfg Subscription) error {
 	}
 	s.cp = cp.Bytes()
 	m.SetInjector(b.inj)
+	b.wireSub(s)
 	b.subs = append(b.subs, s)
 	return nil
 }
@@ -208,6 +250,9 @@ func (b *Broker) Subscribe(cfg Subscription) error {
 // subscription and enqueues it logically for the others; if no
 // subscription references the table, the change is applied directly.
 func (b *Broker) Publish(table string, mod ivm.Mod) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.obs.observePublish()
 	routed := false
 	for _, s := range b.subs {
 		idx := -1
@@ -274,20 +319,29 @@ func applyDirect(db *storage.DB, table string, mod ivm.Mod) error {
 // heals on the next successful drain. Only policy-contract violations
 // and non-injected internal errors abort the step.
 func (b *Broker) EndStep() ([]Notification, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	root, stepStart := b.obs.startStep(b.step)
+	defer root.End()
 	var out []Notification
 	for _, s := range b.subs {
+		sp := root.Child("sub")
+		sp.Attr("sub", s.cfg.Name)
 		if err := b.maybeCrash(s); err != nil {
+			sp.End()
 			return nil, err
 		}
 		pending := core.Vector(s.m.Pending())
 		act := s.pol.Act(b.step, s.stepMods.Clone(), pending.Clone(), false)
 		if !act.NonNegative() || !act.DominatedBy(pending) {
+			sp.End()
 			return nil, fmt.Errorf("pubsub: %s: policy returned out-of-range action %v", s.cfg.Name, act)
 		}
 		s.stepMods = core.NewVector(len(s.stepMods))
 		drained := !act.IsZero()
 		if _, err := b.process(s, act); err != nil {
 			if !fault.Transient(err) {
+				sp.End()
 				return nil, err
 			}
 			// The retry budget is spent and the drain rolled back; carry
@@ -297,6 +351,7 @@ func (b *Broker) EndStep() ([]Notification, error) {
 		}
 		if post := core.Vector(s.m.Pending()); s.cfg.Model.Full(post, s.cfg.QoS) {
 			if !s.degraded {
+				sp.End()
 				return nil, fmt.Errorf("pubsub: %s: policy %s left refresh cost %.4g > QoS %.4g",
 					s.cfg.Name, s.pol.Name(), s.cfg.Model.Total(post), s.cfg.QoS)
 			}
@@ -308,16 +363,22 @@ func (b *Broker) EndStep() ([]Notification, error) {
 			s.degraded = false
 		}
 		if s.cfg.Condition(b.step) {
+			nsp := sp.Child("notify")
 			n, err := b.notify(s)
+			nsp.End()
 			if err != nil {
+				sp.End()
 				return nil, err
 			}
 			out = append(out, n)
 		}
+		b.obs.syncSub(b, s)
+		sp.End()
 	}
 	if err := b.checkpointDue(); err != nil {
 		return nil, err
 	}
+	b.obs.observeStep(stepStart)
 	b.step++
 	return out, nil
 }
@@ -330,12 +391,14 @@ func (b *Broker) notify(s *sub) (Notification, error) {
 	if err == nil {
 		s.degraded = false
 		s.lastFresh = b.step
-		return Notification{
+		n := Notification{
 			Subscription: s.cfg.Name,
 			Step:         b.step,
 			Rows:         s.m.Result(),
 			RefreshCost:  cost,
-		}, nil
+		}
+		b.obs.observeNotification(s, n)
+		return n, nil
 	}
 	if !fault.Transient(err) {
 		return Notification{}, err
@@ -345,7 +408,7 @@ func (b *Broker) notify(s *sub) (Notification, error) {
 	if over < 0 {
 		over = 0
 	}
-	return Notification{
+	n := Notification{
 		Subscription:  s.cfg.Name,
 		Step:          b.step,
 		Rows:          s.m.Result(),
@@ -353,7 +416,9 @@ func (b *Broker) notify(s *sub) (Notification, error) {
 		Degraded:      true,
 		StepsBehind:   b.step - s.lastFresh,
 		CostOvershoot: over,
-	}, nil
+	}
+	b.obs.observeNotification(s, n)
+	return n, nil
 }
 
 // maybeCrash polls the crash site and, when it fires, simulates a
@@ -364,12 +429,17 @@ func (b *Broker) maybeCrash(s *sub) error {
 	if b.inj == nil || b.inj.Hit(fault.SiteCrash) == nil {
 		return nil
 	}
-	m, err := ivm.Recover(b.db, s.cfg.Query, bytes.NewReader(s.cp), s.wal)
+	var ms *ivm.Metrics
+	if b.obs != nil {
+		ms = b.obs.ivm
+	}
+	m, err := ivm.RecoverWithMetrics(b.db, s.cfg.Query, bytes.NewReader(s.cp), s.wal, ms)
 	if err != nil {
 		return fmt.Errorf("pubsub: %s: recovery failed: %w", s.cfg.Name, err)
 	}
 	m.SetInjector(b.inj)
 	s.m = m
+	b.obs.observeCrashRecovery()
 	return nil
 }
 
@@ -423,9 +493,23 @@ func (b *Broker) process(s *sub, act core.Vector) (float64, error) {
 	return cost, nil
 }
 
+// Subscriptions returns the registered subscription names, in
+// registration order.
+func (b *Broker) Subscriptions() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, len(b.subs))
+	for i, s := range b.subs {
+		out[i] = s.cfg.Name
+	}
+	return out
+}
+
 // TotalCost returns the accumulated model maintenance cost of a
 // subscription.
 func (b *Broker) TotalCost(name string) (float64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	for _, s := range b.subs {
 		if s.cfg.Name == name {
 			return s.total, nil
@@ -436,6 +520,8 @@ func (b *Broker) TotalCost(name string) (float64, error) {
 
 // Result returns the (possibly stale) current content of a subscription.
 func (b *Broker) Result(name string) ([]storage.Row, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	for _, s := range b.subs {
 		if s.cfg.Name == name {
 			return s.m.Result(), nil
@@ -457,8 +543,11 @@ type Health struct {
 	WALRecords int
 }
 
-// Health reports a subscription's fault-tolerance status.
+// Health reports a subscription's fault-tolerance status. It is safe to
+// call concurrently with the workload loop (e.g. from the ops endpoint).
 func (b *Broker) Health(name string) (Health, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	for _, s := range b.subs {
 		if s.cfg.Name == name {
 			return Health{

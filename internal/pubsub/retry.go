@@ -20,6 +20,13 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponential growth.
 	MaxDelay time.Duration
+	// Jitter extends each backoff by a random fraction of itself in
+	// [0, Jitter), de-synchronizing retry storms. The randomness comes
+	// exclusively from the broker's seeded generator (SetRetrySeed) —
+	// never the global rand — so chaos runs stay byte-identical under a
+	// fixed seed; with no seed set, jitter is off regardless of this
+	// value.
+	Jitter float64
 }
 
 // DefaultRetryPolicy returns the broker's standard budget. MaxAttempts
@@ -31,6 +38,7 @@ func DefaultRetryPolicy() RetryPolicy {
 		MaxAttempts: 2 + 3*fault.MaxRun,
 		BaseDelay:   time.Millisecond,
 		MaxDelay:    50 * time.Millisecond,
+		Jitter:      0.5,
 	}
 }
 
@@ -62,12 +70,26 @@ func (b *Broker) retry(op func() error) error {
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			b.sleep(b.retryPol.delay(attempt))
+			b.obs.observeRetry()
+			b.sleep(b.backoff(attempt))
 		}
 		err = op()
 		if err == nil || !fault.Transient(err) {
 			return err
 		}
 	}
+	b.obs.observeRetryGiveup()
 	return err
+}
+
+// backoff is the exponential delay plus seeded jitter. Callers hold the
+// broker lock, so the jitter RNG needs no extra synchronization and its
+// draw order — hence the whole backoff sequence — is a deterministic
+// function of the retry seed and the fault schedule.
+func (b *Broker) backoff(attempt int) time.Duration {
+	d := b.retryPol.delay(attempt)
+	if b.retryRNG != nil && b.retryPol.Jitter > 0 {
+		d += time.Duration(b.retryPol.Jitter * b.retryRNG.Float64() * float64(d))
+	}
+	return d
 }

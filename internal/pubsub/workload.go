@@ -1,0 +1,124 @@
+package pubsub
+
+import (
+	"fmt"
+	"math/rand"
+
+	"abivm/internal/fault"
+	"abivm/internal/ivm"
+	"abivm/internal/storage"
+)
+
+// eventGen produces the chaos workload's modification stream one step at
+// a time: a deterministic function of the seed, usable both pregenerated
+// (the chaos harness scripts a fixed horizon up front so baseline and
+// faulted runs share one stream) and open-ended (the serve demo steps it
+// forever).
+type eventGen struct {
+	rng  *rand.Rand
+	live []int64
+	next int64
+}
+
+func newEventGen(seed int64) *eventGen {
+	g := &eventGen{rng: rand.New(rand.NewSource(seed)), next: 40}
+	g.live = make([]int64, 0, 64)
+	for i := int64(0); i < 40; i++ {
+		g.live = append(g.live, i)
+	}
+	return g
+}
+
+// step generates one step's modifications: 1-2 sales inserts, sometimes
+// a sales delete, sometimes a station region flip.
+func (g *eventGen) step() []chaosEvent {
+	var evs []chaosEvent
+	for n := 1 + g.rng.Intn(2); n > 0; n-- {
+		row := storage.Row{storage.I(g.next), storage.I(int64(g.rng.Intn(8))), storage.F(float64(1 + g.rng.Intn(20)))}
+		evs = append(evs, chaosEvent{table: "sales", mod: ivm.Insert("", row)})
+		g.live = append(g.live, g.next)
+		g.next++
+	}
+	if g.rng.Float64() < 0.30 && len(g.live) > 8 {
+		i := g.rng.Intn(len(g.live))
+		key := g.live[i]
+		g.live = append(g.live[:i], g.live[i+1:]...)
+		evs = append(evs, chaosEvent{table: "sales", mod: ivm.Delete("", storage.I(key))})
+	}
+	if g.rng.Float64() < 0.25 {
+		k := int64(g.rng.Intn(8))
+		region := "EAST"
+		if g.rng.Intn(2) == 1 {
+			region = "WEST"
+		}
+		evs = append(evs, chaosEvent{table: "stations", mod: ivm.Update("",
+			[]storage.Value{storage.I(k)}, storage.Row{storage.I(k), storage.S(region)})})
+	}
+	return evs
+}
+
+// demoSubscriptions returns the standard east/west subscription pair of
+// the chaos workload, with fresh cost models.
+func demoSubscriptions() ([]Subscription, error) {
+	subs := []Subscription{
+		{Name: "east", Query: chaosEastQuery, Condition: Every(7), QoS: chaosQoS},
+		{Name: "west", Query: chaosWestQuery, Condition: Every(11), QoS: chaosQoS},
+	}
+	for i := range subs {
+		model, err := chaosModel()
+		if err != nil {
+			return nil, err
+		}
+		subs[i].Model = model
+	}
+	return subs, nil
+}
+
+// DemoWorkload is a self-contained, endlessly steppable pub/sub workload
+// over the chaos harness's stations/sales schema with the east/west
+// aggregate subscriptions. `abivm serve` drives one to have live data
+// behind its metrics endpoint; everything it does is deterministic in
+// the seed (including retry-backoff jitter).
+type DemoWorkload struct {
+	// Broker is the underlying broker; attach observability with SetObs
+	// and inspect subscriptions through the usual accessors.
+	Broker *Broker
+
+	gen *eventGen
+}
+
+// NewDemoWorkload builds the demo database, broker, and subscriptions.
+// A non-nil injector puts the workload into chaos mode (retries,
+// degradations, crash recoveries all live).
+func NewDemoWorkload(seed int64, inj fault.Injector) (*DemoWorkload, error) {
+	db, err := chaosDB()
+	if err != nil {
+		return nil, err
+	}
+	b := NewBroker(db)
+	b.SetRetrySeed(seed)
+	if inj != nil {
+		b.SetInjector(inj)
+	}
+	subs, err := demoSubscriptions()
+	if err != nil {
+		return nil, err
+	}
+	for _, sc := range subs {
+		if err := b.Subscribe(sc); err != nil {
+			return nil, err
+		}
+	}
+	return &DemoWorkload{Broker: b, gen: newEventGen(seed)}, nil
+}
+
+// Step publishes one generated step of modifications and closes the
+// broker step, returning any notifications that fired.
+func (w *DemoWorkload) Step() ([]Notification, error) {
+	for _, ev := range w.gen.step() {
+		if err := w.Broker.Publish(ev.table, ev.mod); err != nil {
+			return nil, fmt.Errorf("pubsub: demo publish %s: %w", ev.table, err)
+		}
+	}
+	return w.Broker.EndStep()
+}
