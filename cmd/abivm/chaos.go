@@ -17,12 +17,14 @@ import (
 // fault-handling bug and makes the command exit nonzero.
 //
 //	abivm chaos -seed 1 -runs 50 -steps 60
+//	abivm chaos -seed 1 -runs 5 -shards 4
 func runChaos(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "first seed of the range")
 	runs := fs.Int("runs", 1, "number of consecutive seeds to run")
 	steps := fs.Int("steps", 60, "broker steps per run")
 	cpEvery := fs.Int("checkpoint", 5, "checkpoint cadence in steps (0 disables)")
+	shards := fs.Int("shards", 0, "run the sharded runtime with this many shards and per-shard fault streams (0 = serial broker)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,7 +40,7 @@ func runChaos(ctx context.Context, args []string) error {
 		}
 		s := *seed + int64(i)
 		rep, err := pubsub.RunChaos(pubsub.ChaosConfig{
-			Seed: s, Steps: *steps, CheckpointEvery: *cpEvery,
+			Seed: s, Steps: *steps, CheckpointEvery: *cpEvery, Shards: *shards,
 		})
 		if err != nil {
 			return fmt.Errorf("chaos: seed %d: %w", s, err)

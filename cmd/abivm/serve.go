@@ -25,6 +25,7 @@ import (
 //	/debug/pprof/...  net/http/pprof, only with -pprof
 //
 //	abivm serve -addr 127.0.0.1:8080 -seed 1 -interval 50ms -faults
+//	abivm serve -shards 4 -faults
 func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -34,26 +35,49 @@ func runServe(ctx context.Context, args []string) error {
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	faults := fs.Bool("faults", false, "run the workload under seeded fault injection")
 	tracebuf := fs.Int("tracebuf", obs.DefaultTraceCapacity, "span ring-buffer capacity")
+	shards := fs.Int("shards", 0, "run the sharded broker runtime with this many shards over a 2*shards-region workload (0 = serial broker)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var inj fault.Injector
-	if *faults {
-		inj = fault.NewSeeded(*seed, fault.DefaultRates())
-	}
-	w, err := pubsub.NewDemoWorkload(*seed, inj)
-	if err != nil {
-		return fmt.Errorf("serve: %w", err)
+	// Both runtimes expose the same stepping and health surface; the
+	// sharded path widens the workload to 2*shards regions so the
+	// assignment policy has subscriptions to spread.
+	var (
+		step   func() ([]pubsub.Notification, error)
+		health healthSource
+		setObs func(*obs.Registry, *obs.Tracer)
+	)
+	if *shards > 0 {
+		var factory func(int) fault.Injector
+		if *faults {
+			factory = pubsub.SeededShardInjectors(*seed, fault.DefaultRates())
+		}
+		w, err := pubsub.NewShardedDemoWorkload(*seed, *shards, pubsub.ScaledWorkloadSpec(2*(*shards)), factory)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		defer w.Close()
+		step, health, setObs = w.Step, w.Broker, w.Broker.SetObs
+	} else {
+		var inj fault.Injector
+		if *faults {
+			inj = fault.NewSeeded(*seed, fault.DefaultRates())
+		}
+		w, err := pubsub.NewDemoWorkload(*seed, inj)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		step, health, setObs = w.Step, w.Broker, w.Broker.SetObs
 	}
 	reg := obs.NewRegistry()
 	tr := obs.NewTracer(*tracebuf)
-	w.Broker.SetObs(reg, tr)
+	setObs(reg, tr)
 
 	mux := obs.NewMux(obs.Options{
 		Registry: reg,
 		Tracer:   tr,
-		Health:   brokerHealth(w.Broker),
+		Health:   brokerHealth(health),
 		Pprof:    *pprofOn,
 	})
 	ln, err := net.Listen("tcp", *addr)
@@ -63,7 +87,7 @@ func runServe(ctx context.Context, args []string) error {
 	srv := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Printf("abivm serve: http://%s (seed=%d interval=%s faults=%v)\n", ln.Addr(), *seed, *interval, *faults)
+	fmt.Printf("abivm serve: http://%s (seed=%d interval=%s faults=%v shards=%d)\n", ln.Addr(), *seed, *interval, *faults, *shards)
 
 	ticker := time.NewTicker(*interval)
 	defer ticker.Stop()
@@ -76,7 +100,7 @@ loop:
 		case err := <-serveErr:
 			return fmt.Errorf("serve: http server: %w", err)
 		case <-ticker.C:
-			if _, err := w.Step(); err != nil {
+			if _, err := step(); err != nil {
 				stepErr = fmt.Errorf("serve: workload step: %w", err)
 				break loop
 			}
@@ -96,9 +120,16 @@ loop:
 	return stepErr
 }
 
+// healthSource is the health surface the serial and sharded brokers
+// share: subscription names plus per-subscription health snapshots.
+type healthSource interface {
+	Subscriptions() []string
+	Health(name string) (pubsub.Health, error)
+}
+
 // brokerHealth aggregates per-subscription broker health into the
 // /healthz probe: healthy iff no subscription is degraded.
-func brokerHealth(b *pubsub.Broker) obs.HealthFunc {
+func brokerHealth(b healthSource) obs.HealthFunc {
 	return func() (any, bool) {
 		type subHealth struct {
 			Name string `json:"name"`

@@ -1,5 +1,5 @@
 // Command abivmlint is the domain-aware static-analysis suite for the
-// abivm tree. It bundles five analyzers over invariants the compiler
+// abivm tree. It bundles six analyzers over invariants the compiler
 // cannot check:
 //
 //	vecalias    core.Vector parameters retained without Clone()
@@ -7,6 +7,7 @@
 //	errdrop     discarded error return values in internal/... and cmd/...
 //	panicdoc    undocumented panics on the exported abivm / core surface
 //	metricname  dynamic (non-constant) metric names registered on obs.Registry
+//	pkgdoc      missing or malformed package comments under internal/ and cmd/
 //
 // Usage:
 //
@@ -29,6 +30,7 @@ import (
 	"abivm/internal/lint/floateq"
 	"abivm/internal/lint/metricname"
 	"abivm/internal/lint/panicdoc"
+	"abivm/internal/lint/pkgdoc"
 	"abivm/internal/lint/vecalias"
 )
 
@@ -38,6 +40,7 @@ var all = []*lint.Analyzer{
 	errdrop.Analyzer,
 	panicdoc.Analyzer,
 	metricname.Analyzer,
+	pkgdoc.Analyzer,
 }
 
 func main() {

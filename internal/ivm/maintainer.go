@@ -44,6 +44,13 @@ type Maintainer struct {
 	wal *WAL
 	inj fault.Injector
 
+	// ns is the maintainer's durability namespace. It is stamped into
+	// every checkpoint, and RecoverNamespaced refuses a checkpoint whose
+	// namespace does not match — the guard that keeps a sharded broker
+	// from restoring one shard's subscription from another shard's
+	// recovery point.
+	ns string
+
 	// Observability hook: nil (the default) means no measurement work at
 	// all on the drain path, including time.Now calls.
 	obs *Metrics
@@ -116,6 +123,15 @@ func newSkeleton(live *storage.DB, query string) (*Maintainer, error) {
 // AttachWAL makes the maintainer record every accepted arrival and every
 // committed drain to w, enabling Checkpoint/Recover. A nil w detaches.
 func (m *Maintainer) AttachWAL(w *WAL) { m.wal = w }
+
+// SetNamespace names the maintainer's durability namespace (typically
+// "<shard>/<subscription>"). Checkpoints taken afterwards carry the
+// namespace, and RecoverNamespaced validates it. The empty namespace
+// (the default) disables the check.
+func (m *Maintainer) SetNamespace(ns string) { m.ns = ns }
+
+// Namespace returns the durability namespace, or "" when unset.
+func (m *Maintainer) Namespace() string { return m.ns }
 
 // WAL returns the attached redo log, or nil.
 func (m *Maintainer) WAL() *WAL { return m.wal }

@@ -25,6 +25,11 @@ type checkpointDTO struct {
 	LSN     uint64
 	Replica []byte
 	Queues  map[string][]Mod
+	// Namespace identifies whose state this checkpoint is (see
+	// Maintainer.SetNamespace); "" for un-namespaced maintainers. Old
+	// checkpoints decode with the zero value, so the field is
+	// version-compatible.
+	Namespace string
 }
 
 // Checkpoint serializes the maintainer's durable state to w: replica
@@ -62,9 +67,10 @@ func (m *Maintainer) checkpoint(w io.Writer) error {
 		return fmt.Errorf("ivm: checkpoint replica snapshot: %w", err)
 	}
 	dto := checkpointDTO{
-		Version: checkpointVersion,
-		Replica: replica.Bytes(),
-		Queues:  make(map[string][]Mod, len(m.aliases)),
+		Version:   checkpointVersion,
+		Replica:   replica.Bytes(),
+		Queues:    make(map[string][]Mod, len(m.aliases)),
+		Namespace: m.ns,
 	}
 	if m.wal != nil {
 		dto.LSN = m.wal.LastLSN()
@@ -88,7 +94,16 @@ func (m *Maintainer) checkpoint(w io.Writer) error {
 // WAL is attached to the returned maintainer; replayed work is not
 // re-logged.
 func Recover(live *storage.DB, query string, cp io.Reader, wal *WAL) (*Maintainer, error) {
-	return RecoverWithMetrics(live, query, cp, wal, nil)
+	return recoverMaintainer(live, query, "", false, cp, wal, nil)
+}
+
+// RecoverNamespaced is Recover with a namespace check: the checkpoint
+// must have been written by a maintainer whose namespace is exactly ns,
+// otherwise recovery fails before any state is rebuilt. A sharded broker
+// uses this to guarantee each shard restores only its own subscriptions'
+// recovery points ("<shard>/<subscription>" namespaces).
+func RecoverNamespaced(live *storage.DB, query, ns string, cp io.Reader, wal *WAL, ms *Metrics) (*Maintainer, error) {
+	return recoverMaintainer(live, query, ns, true, cp, wal, ms)
 }
 
 // RecoverWithMetrics is Recover with an instrumentation bundle: a
@@ -97,12 +112,22 @@ func Recover(live *storage.DB, query string, cp io.Reader, wal *WAL) (*Maintaine
 // post-recovery drains keep reporting to the same registry. A nil ms is
 // exactly Recover.
 func RecoverWithMetrics(live *storage.DB, query string, cp io.Reader, wal *WAL, ms *Metrics) (*Maintainer, error) {
+	return recoverMaintainer(live, query, "", false, cp, wal, ms)
+}
+
+// recoverMaintainer is the shared implementation; checkNS enables the namespace
+// validation (wantNS may legitimately be "" for a namespaced caller that
+// never named its maintainer).
+func recoverMaintainer(live *storage.DB, query, wantNS string, checkNS bool, cp io.Reader, wal *WAL, ms *Metrics) (*Maintainer, error) {
 	var dto checkpointDTO
 	if err := gob.NewDecoder(cp).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("ivm: decoding checkpoint: %w", err)
 	}
 	if dto.Version != checkpointVersion {
 		return nil, fmt.Errorf("ivm: checkpoint version %d, want %d", dto.Version, checkpointVersion)
+	}
+	if checkNS && dto.Namespace != wantNS {
+		return nil, fmt.Errorf("ivm: checkpoint namespace %q, want %q", dto.Namespace, wantNS)
 	}
 	m, err := newSkeleton(live, query)
 	if err != nil {
@@ -153,6 +178,7 @@ func RecoverWithMetrics(live *storage.DB, query string, cp io.Reader, wal *WAL, 
 	}
 	m.wal = wal
 	m.obs = ms
+	m.ns = dto.Namespace
 	ms.observeRecovery(replayed)
 	// Replay work is recovery overhead, not maintenance cost.
 	*m.stats = storage.Stats{}

@@ -1,0 +1,76 @@
+// Package pkgdoc enforces the repo's package-documentation convention:
+// every package under internal/... and cmd/... carries a package comment,
+// the comment opens with the canonical godoc phrase ("Package <name> ..."
+// for libraries, "Command ..." for main packages), and exactly one file
+// holds it. OPERATIONS.md and DESIGN.md point readers at godoc for the
+// per-package contracts, so an undocumented package is a broken link in
+// the documentation layer, not a style nit.
+package pkgdoc
+
+import (
+	"go/ast"
+	"strings"
+
+	"abivm/internal/lint"
+)
+
+// Analyzer is the pkgdoc check.
+var Analyzer = &lint.Analyzer{
+	Name: "pkgdoc",
+	Doc: "requires a package comment on every internal/... and cmd/... " +
+		"package, starting \"Package <name>\" (or \"Command\" for main) " +
+		"and living in exactly one file",
+	AppliesTo: appliesTo,
+	Run:       run,
+}
+
+func appliesTo(pkgPath string) bool {
+	for _, seg := range []string{"internal", "cmd"} {
+		if strings.HasPrefix(pkgPath, seg+"/") || strings.Contains(pkgPath, "/"+seg+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	name := pass.Pkg.Types.Name()
+	var docs []*ast.File
+	for _, file := range pass.Pkg.Syntax {
+		if file.Doc != nil {
+			docs = append(docs, file)
+		}
+	}
+	if len(docs) == 0 {
+		// Anchor the finding on the package clause of the first file so
+		// it points somewhere editable.
+		pass.Reportf(pass.Pkg.Syntax[0].Name.Pos(),
+			"package %s has no package comment; add one starting %q in exactly one file",
+			name, docPrefix(name))
+		return nil
+	}
+	for _, file := range docs[1:] {
+		pass.Reportf(file.Doc.Pos(),
+			"package comment for %s duplicated; keep a single package comment (the first is at %s)",
+			name, pass.Pkg.Fset.Position(docs[0].Doc.Pos()))
+	}
+	for _, file := range docs {
+		text := file.Doc.Text()
+		if !strings.HasPrefix(text, docPrefix(name)+" ") && !strings.HasPrefix(text, docPrefix(name)+"\n") {
+			pass.Reportf(file.Doc.Pos(),
+				"package comment should start %q (godoc keys its package lists off that phrase)",
+				docPrefix(name))
+		}
+	}
+	return nil
+}
+
+// docPrefix is the required opening phrase: godoc's convention is
+// "Package <name>" for importable packages and "Command <name>" for
+// binaries (package main).
+func docPrefix(pkgName string) string {
+	if pkgName == "main" {
+		return "Command"
+	}
+	return "Package " + pkgName
+}

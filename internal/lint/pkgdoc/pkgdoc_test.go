@@ -1,0 +1,32 @@
+package pkgdoc
+
+import (
+	"testing"
+
+	"abivm/internal/lint"
+)
+
+func TestPkgDocFixtures(t *testing.T) {
+	for _, dir := range []string{"undoc", "baddoc", "dupdoc", "badcmd", "goodcmd"} {
+		t.Run(dir, func(t *testing.T) {
+			lint.RunFixture(t, Analyzer, "testdata/src/"+dir)
+		})
+	}
+}
+
+func TestAppliesTo(t *testing.T) {
+	cases := map[string]bool{
+		"abivm/internal/pubsub":      true,
+		"abivm/internal/lint/pkgdoc": true,
+		"abivm/cmd/abivm":            true,
+		"abivm/cmd/abivmlint":        true,
+		"abivm":                      false,
+		"abivm/docs":                 false,
+		"fixture/testdata/src/undoc": false,
+	}
+	for path, want := range cases {
+		if got := appliesTo(path); got != want {
+			t.Errorf("appliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

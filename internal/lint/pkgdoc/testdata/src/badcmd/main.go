@@ -1,0 +1,5 @@
+// Package badcmd mislabels a binary: package main documentation must // want "should start"
+// open with "Command", not "Package".
+package main
+
+func main() {}

@@ -1,0 +1,6 @@
+// This comment documents the package but skips the canonical godoc // want "Package baddoc"
+// opening phrase, so tooling that keys off "Package baddoc" misfiles it.
+package baddoc
+
+// Exported does nothing.
+func Exported() {}

@@ -1,0 +1,5 @@
+// Package dupdoc holds the canonical package comment in this file.
+package dupdoc
+
+// Alpha does nothing.
+func Alpha() {}

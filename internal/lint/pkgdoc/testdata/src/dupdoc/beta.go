@@ -1,0 +1,6 @@
+// Package dupdoc is documented a second time here, which godoc would // want "duplicated"
+// silently concatenate with alpha.go's comment.
+package dupdoc
+
+// Beta does nothing.
+func Beta() {}

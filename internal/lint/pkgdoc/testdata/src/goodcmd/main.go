@@ -1,0 +1,5 @@
+// Command goodcmd is a correctly documented binary: the comment opens
+// with "Command" and lives in a single file.
+package main
+
+func main() {}

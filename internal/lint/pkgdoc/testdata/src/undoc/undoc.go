@@ -1,0 +1,4 @@
+package undoc // want "package undoc has no package comment"
+
+// Exported does nothing; the package around it is what's missing docs.
+func Exported() {}

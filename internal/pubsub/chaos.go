@@ -34,6 +34,11 @@ type ChaosConfig struct {
 	Rates fault.Rates
 	// CheckpointEvery is the broker checkpoint cadence (default 5).
 	CheckpointEvery int
+	// Shards selects the runtime: 0 runs the serial broker on the legacy
+	// east/west workload; n >= 1 runs the sharded runtime with n shards
+	// on a widened workload (2n regions), per-shard fault injectors, and
+	// quiesced mid-run cost/health sampling folded into the transcripts.
+	Shards int
 }
 
 // ChaosReport summarizes a faulted-vs-baseline comparison.
@@ -41,6 +46,9 @@ type ChaosReport struct {
 	Seed          int64
 	Steps         int
 	Notifications int
+	// Shards is the shard count of a sharded-mode run; 0 for the serial
+	// broker.
+	Shards int
 	// Faults is the per-site injected-fault count of the faulted run.
 	Faults map[fault.Site]int
 	// TotalFaults is the number of faults injected.
@@ -62,9 +70,15 @@ type chaosEvent struct {
 	mod   ivm.Mod
 }
 
-// chaosDB builds the deterministic base database of the chaos workload:
-// stations(stationkey, region) and sales(salekey, station, amount).
+// chaosDB builds the legacy two-region base database.
 func chaosDB() (*storage.DB, error) {
+	return chaosDBSpec(DefaultWorkloadSpec())
+}
+
+// chaosDBSpec builds the deterministic base database of the chaos
+// workload — stations(stationkey, region) and sales(salekey, station,
+// amount) — sized by the spec.
+func chaosDBSpec(spec WorkloadSpec) (*storage.DB, error) {
 	db := storage.NewDB()
 	st, err := storage.NewSchema("stations", []storage.Column{
 		{Name: "stationkey", Type: storage.TInt},
@@ -77,11 +91,8 @@ func chaosDB() (*storage.DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := int64(0); i < 8; i++ {
-		region := "EAST"
-		if i%2 == 1 {
-			region = "WEST"
-		}
+	for i := int64(0); i < int64(spec.Stations); i++ {
+		region := spec.Regions[i%int64(len(spec.Regions))]
 		if err := stations.Insert(storage.Row{storage.I(i), storage.S(region)}); err != nil {
 			return nil, err
 		}
@@ -101,8 +112,8 @@ func chaosDB() (*storage.DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := int64(0); i < 40; i++ {
-		if err := sales.Insert(storage.Row{storage.I(i), storage.I(i % 8), storage.F(10)}); err != nil {
+	for i := int64(0); i < int64(spec.SalesRows); i++ {
+		if err := sales.Insert(storage.Row{storage.I(i), storage.I(i % int64(spec.Stations)), storage.F(10)}); err != nil {
 			return nil, err
 		}
 	}
@@ -112,8 +123,8 @@ func chaosDB() (*storage.DB, error) {
 // chaosScript pregenerates the per-step modification schedule, so the
 // baseline and faulted runs see the exact same stream. The generator
 // itself lives in workload.go (eventGen), shared with the serve demo.
-func chaosScript(seed int64, steps int) [][]chaosEvent {
-	g := newEventGen(seed)
+func chaosScript(seed int64, steps int, spec WorkloadSpec) [][]chaosEvent {
+	g := newEventGenSpec(seed, spec)
 	script := make([][]chaosEvent, steps)
 	for t := range script {
 		script[t] = g.step()
@@ -134,13 +145,16 @@ func chaosModel() (*core.CostModel, error) {
 	return core.NewCostModel(fSales, fStations), nil
 }
 
-const (
-	chaosEastQuery = `SELECT SUM(s.amount), COUNT(*) FROM sales AS s, stations AS st
-		WHERE s.station = st.stationkey AND st.region = 'EAST'`
-	chaosWestQuery = `SELECT SUM(s.amount), COUNT(*) FROM sales AS s, stations AS st
-		WHERE s.station = st.stationkey AND st.region = 'WEST'`
-	chaosQoS = 40.0
-)
+// chaosQoS is the shared response-time constraint C of the demo
+// subscriptions.
+const chaosQoS = 40.0
+
+// regionQuery is one region's aggregate content query: total and count
+// of sales at that region's stations.
+func regionQuery(region string) string {
+	return fmt.Sprintf(`SELECT SUM(s.amount), COUNT(*) FROM sales AS s, stations AS st
+		WHERE s.station = st.stationkey AND st.region = '%s'`, region)
+}
 
 // chaosRun executes the scripted workload against a fresh broker under
 // the given injector and returns the rendered notification transcript,
@@ -202,6 +216,90 @@ func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery int
 	return out.String(), fin.String(), degraded, nil
 }
 
+// chaosSampleEvery is the cadence (in steps) of the mid-run cost/health
+// samples the sharded chaos run folds into its transcript.
+const chaosSampleEvery = 10
+
+// chaosRunSharded is chaosRun on the sharded runtime: the same scripted
+// workload against a fresh ShardedBroker, with per-shard injectors from
+// the factory (nil = fault-free baseline). Every chaosSampleEvery steps
+// it quiesces the shards and samples each subscription's accumulated
+// cost and pending vector into the transcript — reading them without the
+// quiesce would race the shard workers mid-drain and make the sample
+// depend on scheduling, exactly the bug the quiesce exists to prevent.
+func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec WorkloadSpec, factory func(int) fault.Injector, cpEvery int) (transcript, finals string, degraded int, err error) {
+	db, err := chaosDBSpec(spec)
+	if err != nil {
+		return "", "", 0, err
+	}
+	sb := NewShardedBroker(db, ShardOptions{Shards: shards})
+	defer sb.Close()
+	sb.setSleep(func(time.Duration) {})
+	sb.SetRetrySeed(seed)
+	sb.SetCheckpointEvery(cpEvery)
+	if factory != nil {
+		sb.SetInjectors(factory)
+	}
+	subs, err := demoSubscriptionsSpec(spec)
+	if err != nil {
+		return "", "", 0, err
+	}
+	for _, sc := range subs {
+		if err := sb.Subscribe(sc); err != nil {
+			return "", "", 0, err
+		}
+	}
+	var out strings.Builder
+	for t, evs := range script {
+		for _, ev := range evs {
+			if err := sb.Publish(ev.table, ev.mod); err != nil {
+				return "", "", 0, fmt.Errorf("step %d: publish %s: %w", t, ev.table, err)
+			}
+		}
+		if (t+1)%chaosSampleEvery == 0 {
+			if err := sb.Quiesce(); err != nil {
+				return "", "", 0, fmt.Errorf("step %d: quiesce: %w", t, err)
+			}
+			for _, sc := range subs {
+				cost, err := sb.TotalCost(sc.Name)
+				if err != nil {
+					return "", "", 0, err
+				}
+				h, err := sb.Health(sc.Name)
+				if err != nil {
+					return "", "", 0, err
+				}
+				fmt.Fprintf(&out, "sample step=%d sub=%s cost=%.9g pending=%v\n",
+					t, sc.Name, cost, h.Pending)
+			}
+		}
+		ns, err := sb.EndStep()
+		if err != nil {
+			return "", "", 0, fmt.Errorf("step %d: %w", t, err)
+		}
+		for _, n := range ns {
+			if n.Degraded {
+				degraded++
+			} else if !core.ApproxLE(n.RefreshCost, chaosQoS) {
+				return "", "", 0, fmt.Errorf("step %d: %s: non-degraded refresh cost %.6g > QoS %.6g",
+					t, n.Subscription, n.RefreshCost, chaosQoS)
+			}
+			fmt.Fprintf(&out, "step=%d sub=%s degraded=%v behind=%d over=%.9g cost=%.9g rows=%s\n",
+				n.Step, n.Subscription, n.Degraded, n.StepsBehind, n.CostOvershoot,
+				n.RefreshCost, renderRows(n.Rows))
+		}
+	}
+	var fin strings.Builder
+	for _, sc := range subs {
+		rows, err := sb.Result(sc.Name)
+		if err != nil {
+			return "", "", 0, err
+		}
+		fmt.Fprintf(&fin, "%s: %s\n", sc.Name, renderRows(rows))
+	}
+	return out.String(), fin.String(), degraded, nil
+}
+
 // renderRows renders rows canonically for byte comparison.
 func renderRows(rows []storage.Row) string {
 	parts := make([]string, len(rows))
@@ -212,9 +310,9 @@ func renderRows(rows []storage.Row) string {
 }
 
 // RunChaos runs the seeded workload fault-free and faulted, and compares
-// the two executions. The faulted run's injector is seeded with the same
-// seed as the workload, so the whole comparison is reproducible from one
-// integer.
+// the two executions. The faulted run's injectors are seeded from the
+// same seed as the workload, so the whole comparison is reproducible
+// from one integer (plus, in sharded mode, the shard count).
 func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	if cfg.Steps <= 0 {
 		cfg.Steps = 60
@@ -225,7 +323,10 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	if cfg.Rates == (fault.Rates{}) {
 		cfg.Rates = fault.DefaultRates()
 	}
-	script := chaosScript(cfg.Seed, cfg.Steps)
+	if cfg.Shards > 0 {
+		return runChaosSharded(cfg)
+	}
+	script := chaosScript(cfg.Seed, cfg.Steps, DefaultWorkloadSpec())
 
 	baseT, baseF, _, err := chaosRun(script, cfg.Seed, nil, cfg.CheckpointEvery)
 	if err != nil {
@@ -245,6 +346,60 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		TotalFaults:   inj.Total(),
 		Degraded:      degraded,
 		Identical:     baseT == faultT && baseF == faultF,
+	}
+	if !rep.Identical {
+		rep.Diff = firstDiff(baseT+baseF, faultT+faultF)
+	}
+	return rep, nil
+}
+
+// runChaosSharded is the sharded-mode comparison: baseline and faulted
+// runs on cfg.Shards shards over a 2·Shards-region workload, each shard
+// carrying an independent seeded fault stream. The transcripts include
+// the quiesced mid-run samples, so the comparison also proves the
+// sampled costs and pending vectors are schedule-independent.
+func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
+	spec := ScaledWorkloadSpec(2 * cfg.Shards)
+	script := chaosScript(cfg.Seed, cfg.Steps, spec)
+
+	baseT, baseF, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, nil, cfg.CheckpointEvery)
+	if err != nil {
+		return nil, fmt.Errorf("chaos seed %d shards %d: baseline run: %w", cfg.Seed, cfg.Shards, err)
+	}
+	// Track the injectors the factory hands out so the report can
+	// aggregate fault counts across shards. SetInjectors calls the
+	// factory sequentially under the broker lock, before any faulted
+	// work, so the append does not race the workers.
+	var injs []*fault.Seeded
+	base := SeededShardInjectors(cfg.Seed, cfg.Rates)
+	factory := func(shard int) fault.Injector {
+		inj := base(shard).(*fault.Seeded)
+		injs = append(injs, inj)
+		return inj
+	}
+	faultT, faultF, degraded, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, factory, cfg.CheckpointEvery)
+	if err != nil {
+		return nil, fmt.Errorf("chaos seed %d shards %d: faulted run: %w", cfg.Seed, cfg.Shards, err)
+	}
+
+	rep := &ChaosReport{
+		Seed:      cfg.Seed,
+		Steps:     cfg.Steps,
+		Shards:    cfg.Shards,
+		Faults:    map[fault.Site]int{},
+		Degraded:  degraded,
+		Identical: baseT == faultT && baseF == faultF,
+	}
+	for _, line := range strings.Split(baseT, "\n") {
+		if line != "" && !strings.HasPrefix(line, "sample ") {
+			rep.Notifications++
+		}
+	}
+	for _, inj := range injs {
+		for site, n := range inj.Fired() {
+			rep.Faults[site] += n
+		}
+		rep.TotalFaults += inj.Total()
 	}
 	if !rep.Identical {
 		rep.Diff = firstDiff(baseT+baseF, faultT+faultF)

@@ -20,6 +20,11 @@ type brokerObs struct {
 	reg *obs.Registry
 	tr  *obs.Tracer
 
+	// shard is the `shard` label value stamped onto every broker-level
+	// series and the step span; "" (a standalone broker) emits the same
+	// unlabeled series as before sharding existed.
+	shard string
+
 	steps         *obs.Counter
 	stepLatency   *obs.Histogram
 	publishes     *obs.Counter
@@ -36,21 +41,30 @@ type brokerObs struct {
 	ivm *ivm.Metrics
 }
 
-func newBrokerObs(reg *obs.Registry, tr *obs.Tracer) *brokerObs {
+func newBrokerObs(reg *obs.Registry, tr *obs.Tracer, shard string) *brokerObs {
+	var lbl []string
+	if shard != "" {
+		lbl = []string{"shard", shard}
+	}
 	return &brokerObs{
 		reg:           reg,
 		tr:            tr,
-		steps:         reg.Counter("pubsub_steps_total"),
-		stepLatency:   reg.Histogram("pubsub_step_latency_seconds", obs.LatencyBuckets()),
-		publishes:     reg.Counter("pubsub_publishes_total"),
-		notifications: reg.Counter("pubsub_notifications_total"),
-		degradedNotes: reg.Counter("pubsub_degraded_notifications_total"),
-		degradedSteps: reg.Counter("pubsub_degraded_sub_steps_total"),
-		retries:       reg.Counter("pubsub_retries_total"),
-		retryGiveups:  reg.Counter("pubsub_retry_giveups_total"),
-		crashRecovers: reg.Counter("pubsub_crash_recoveries_total"),
-		refreshCost:   reg.Histogram("pubsub_refresh_cost", obs.SizeBuckets()),
-		ivm:           ivm.NewMetrics(reg),
+		shard:         shard,
+		steps:         reg.Counter("pubsub_steps_total", lbl...),
+		stepLatency:   reg.Histogram("pubsub_step_latency_seconds", obs.LatencyBuckets(), lbl...),
+		publishes:     reg.Counter("pubsub_publishes_total", lbl...),
+		notifications: reg.Counter("pubsub_notifications_total", lbl...),
+		degradedNotes: reg.Counter("pubsub_degraded_notifications_total", lbl...),
+		degradedSteps: reg.Counter("pubsub_degraded_sub_steps_total", lbl...),
+		retries:       reg.Counter("pubsub_retries_total", lbl...),
+		retryGiveups:  reg.Counter("pubsub_retry_giveups_total", lbl...),
+		crashRecovers: reg.Counter("pubsub_crash_recoveries_total", lbl...),
+		refreshCost:   reg.Histogram("pubsub_refresh_cost", obs.SizeBuckets(), lbl...),
+		// The maintainer-layer bundle stays unlabeled on purpose: ivm
+		// histograms aggregate across every shard's subscriptions, and the
+		// registry dedupes the same-name series so all shards share one
+		// instance.
+		ivm: ivm.NewMetrics(reg),
 	}
 }
 
@@ -100,7 +114,7 @@ func (b *Broker) SetObs(reg *obs.Registry, tr *obs.Tracer) {
 		}
 		return
 	}
-	b.obs = newBrokerObs(reg, tr)
+	b.obs = newBrokerObs(reg, tr, b.shardLabel)
 	for _, s := range b.subs {
 		b.wireSub(s)
 	}
@@ -129,8 +143,13 @@ func (b *Broker) observeInjector() {
 		return
 	}
 	reg := b.obs.reg
+	shard := b.shardLabel
 	seeded.SetObserver(func(site fault.Site, kind fault.Kind) {
-		reg.Counter("fault_injections_total", "site", string(site), "kind", kind.String()).Inc()
+		kv := []string{"site", string(site), "kind", kind.String()}
+		if shard != "" {
+			kv = append(kv, "shard", shard)
+		}
+		reg.Counter("fault_injections_total", kv...).Inc()
 	})
 }
 
@@ -143,6 +162,9 @@ func (o *brokerObs) startStep(step int) (*obs.Span, time.Time) {
 	}
 	sp := o.tr.Start("step")
 	sp.Attr("step", strconv.Itoa(step))
+	if o.shard != "" {
+		sp.Attr("shard", o.shard)
+	}
 	return sp, time.Now()
 }
 

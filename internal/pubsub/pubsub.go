@@ -120,6 +120,14 @@ type Broker struct {
 	cpEvery  int
 	sleep    func(time.Duration)
 	obs      *brokerObs
+
+	// Sharded-runtime identity, set by ShardedBroker before any
+	// subscription exists: ns prefixes the durability namespace of every
+	// subscription ("shard3/east"), shardLabel is the `shard` label value
+	// stamped onto the broker-level metric series. Both are empty for a
+	// standalone broker.
+	ns         string
+	shardLabel string
 }
 
 // DefaultCheckpointEvery is the default checkpoint cadence in steps.
@@ -224,11 +232,18 @@ func (b *Broker) Subscribe(cfg Subscription) error {
 	for i, a := range m.Aliases() {
 		s.aliasIdx[a] = i
 	}
-	// Durability from the first step: attach the redo log and take the
-	// initial checkpoint, so a crash at any later point has a recovery
-	// point. The injector is attached only after the checkpoint — the
-	// subscription must be born with a consistent recovery baseline.
+	// Durability from the first step: attach the redo log, name the
+	// durability namespace ("<shard>/<name>" under a sharded broker,
+	// "<name>" standalone), and take the initial checkpoint, so a crash
+	// at any later point has a recovery point whose ownership is
+	// verifiable. The injector is attached only after the checkpoint —
+	// the subscription must be born with a consistent recovery baseline.
 	m.AttachWAL(s.wal)
+	ns := cfg.Name
+	if b.ns != "" {
+		ns = b.ns + "/" + cfg.Name
+	}
+	m.SetNamespace(ns)
 	var cp bytes.Buffer
 	if err := m.Checkpoint(&cp); err != nil {
 		return fmt.Errorf("pubsub: subscription %q: initial checkpoint: %w", cfg.Name, err)
@@ -284,8 +299,86 @@ func (b *Broker) Publish(table string, mod ivm.Mod) error {
 	return nil
 }
 
+// publishDeferred routes one modification to every subscription whose
+// view references the table WITHOUT touching the live base tables: the
+// deltas are enqueued (and WAL-logged) through ApplyDeferred only. It is
+// the shard-worker half of the sharded broker's ingest path — the
+// ShardedBroker applies the live change exactly once on the publisher
+// side, then each shard applies its own deferred copies here. Returns
+// the number of subscriptions the modification was routed to.
+func (b *Broker) publishDeferred(table string, mod ivm.Mod) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.obs.observePublish()
+	routed := 0
+	for _, s := range b.subs {
+		idx := -1
+		for alias, i := range s.aliasIdx {
+			if b.tableOf(s, alias) == table {
+				idx = i
+				mod.Alias = alias
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		if err := s.m.ApplyDeferred(mod); err != nil {
+			return routed, err
+		}
+		s.stepMods[idx]++
+		routed++
+	}
+	return routed, nil
+}
+
+// watchesTable reports whether any subscription's view references the
+// base table.
+func (b *Broker) watchesTable(table string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, s := range b.subs {
+		for alias := range s.aliasIdx {
+			if b.tableOf(s, alias) == table {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// backlogCost returns the summed model cost of fully refreshing every
+// subscription — the shard-level Σ_i f(s_i) that the sharded broker's
+// admission control compares against its headroom bound.
+func (b *Broker) backlogCost() float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	total := 0.0
+	for _, s := range b.subs {
+		total += s.cfg.Model.Total(core.Vector(s.m.Pending()))
+	}
+	return total
+}
+
 // tableOf resolves a subscription alias to its base table name.
 func (b *Broker) tableOf(s *sub, alias string) string { return s.m.TableOf(alias) }
+
+// applyLive applies one modification to a live base table on behalf of
+// the sharded ingest path, enforcing the same update rule the maintainer
+// enforces on the serial path (the primary key must not change), so a
+// watched table behaves identically whichever broker fronts it.
+func applyLive(db *storage.DB, table string, mod ivm.Mod) error {
+	if mod.Kind == ivm.ModUpdate {
+		tbl, err := db.Table(table)
+		if err != nil {
+			return err
+		}
+		if tbl.Schema().KeyOf(mod.Row) != storage.EncodeKey(mod.Key...) {
+			return fmt.Errorf("pubsub: update must not change the primary key (table %q)", table)
+		}
+	}
+	return applyDirect(db, table, mod)
+}
 
 // applyDirect applies a modification to a table no subscription watches.
 func applyDirect(db *storage.DB, table string, mod ivm.Mod) error {
@@ -433,7 +526,9 @@ func (b *Broker) maybeCrash(s *sub) error {
 	if b.obs != nil {
 		ms = b.obs.ivm
 	}
-	m, err := ivm.RecoverWithMetrics(b.db, s.cfg.Query, bytes.NewReader(s.cp), s.wal, ms)
+	// Recovery validates the checkpoint's durability namespace: a shard
+	// can only restore its own subscription's recovery point.
+	m, err := ivm.RecoverNamespaced(b.db, s.cfg.Query, s.m.Namespace(), bytes.NewReader(s.cp), s.wal, ms)
 	if err != nil {
 		return fmt.Errorf("pubsub: %s: recovery failed: %w", s.cfg.Name, err)
 	}
