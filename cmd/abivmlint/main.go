@@ -1,5 +1,5 @@
 // Command abivmlint is the domain-aware static-analysis suite for the
-// abivm tree. It bundles six analyzers over invariants the compiler
+// abivm tree. It bundles ten analyzers over invariants the compiler
 // cannot check:
 //
 //	vecalias    core.Vector parameters retained without Clone()
@@ -8,18 +8,25 @@
 //	panicdoc    undocumented panics on the exported abivm / core surface
 //	metricname  dynamic (non-constant) metric names registered on obs.Registry
 //	pkgdoc      missing or malformed package comments under internal/ and cmd/
+//	maporder    map iteration order escaping into observable state
+//	nondet      wall-clock / global rand / env reads in deterministic packages
+//	mutexheld   mutex-guarded struct fields accessed without the lock
+//	gobcompat   gob checkpoint types with droppable fields or unstable names
 //
 // Usage:
 //
-//	abivmlint [-only name,name] [-list] [packages]
+//	abivmlint [-only name,name] [-list] [-json] [packages]
 //
 // Packages default to ./... relative to the enclosing module. The exit
-// status is 1 when any finding is reported. Findings are suppressed by a
-// "//lint:ignore <analyzer> <reason>" comment on the offending line or
-// the line above it.
+// status is 1 when any live finding is reported. Findings are suppressed
+// by a "//lint:ignore <analyzer> <reason>" comment on the offending line
+// or the line above it; -json reports the suppressed findings (with
+// their justifications) alongside the live ones, so CI can publish the
+// exception count next to the failures.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +35,11 @@ import (
 	"abivm/internal/lint"
 	"abivm/internal/lint/errdrop"
 	"abivm/internal/lint/floateq"
+	"abivm/internal/lint/gobcompat"
+	"abivm/internal/lint/maporder"
 	"abivm/internal/lint/metricname"
+	"abivm/internal/lint/mutexheld"
+	"abivm/internal/lint/nondet"
 	"abivm/internal/lint/panicdoc"
 	"abivm/internal/lint/pkgdoc"
 	"abivm/internal/lint/vecalias"
@@ -41,11 +52,31 @@ var all = []*lint.Analyzer{
 	panicdoc.Analyzer,
 	metricname.Analyzer,
 	pkgdoc.Analyzer,
+	maporder.Analyzer,
+	nondet.Analyzer,
+	mutexheld.Analyzer,
+	gobcompat.Analyzer,
+}
+
+// report is the -json output shape: live findings fail the build,
+// suppressed ones document the waived exceptions, and the counts give
+// dashboards one number per analyzer.
+type report struct {
+	Findings   []lint.Finding `json:"findings"`
+	Suppressed []lint.Finding `json:"suppressed"`
+	Counts     counts         `json:"counts"`
+}
+
+type counts struct {
+	Findings   int            `json:"findings"`
+	Suppressed int            `json:"suppressed"`
+	ByAnalyzer map[string]int `json:"byAnalyzer"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings and suppression counts as JSON")
 	flag.Parse()
 
 	if *list {
@@ -76,15 +107,41 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	findings, err := lint.Run(pkgs, analyzers)
+	findings, suppressed, err := lint.RunAll(pkgs, analyzers)
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		rep := report{
+			Findings:   findings,
+			Suppressed: suppressed,
+			Counts: counts{
+				Findings:   len(findings),
+				Suppressed: len(suppressed),
+				ByAnalyzer: map[string]int{},
+			},
+		}
+		if rep.Findings == nil {
+			rep.Findings = []lint.Finding{}
+		}
+		if rep.Suppressed == nil {
+			rep.Suppressed = []lint.Finding{}
+		}
+		for _, f := range findings {
+			rep.Counts.ByAnalyzer[f.Analyzer]++
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "abivmlint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(os.Stderr, "abivmlint: %d finding(s), %d suppressed\n", len(findings), len(suppressed))
 		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"abivm/internal/storage"
@@ -41,9 +42,11 @@ func (m *Maintainer) Checkpoint(w io.Writer) error {
 		return m.checkpoint(w)
 	}
 	cw := &countingWriter{w: w}
+	//lint:ignore nondet checkpoint latency feeds metrics only, never checkpoint content
 	start := time.Now()
 	err := m.checkpoint(cw)
 	if err == nil {
+		//lint:ignore nondet measurement of the checkpoint, not part of it
 		m.obs.observeCheckpoint(time.Since(start), cw.n)
 	}
 	return err
@@ -149,11 +152,18 @@ func recoverMaintainer(live *storage.DB, query, wantNS string, checkNS bool, cp 
 	if err := m.initialize(); err != nil {
 		return nil, fmt.Errorf("ivm: recomputing view from checkpoint: %w", err)
 	}
-	for alias, q := range dto.Queues {
+	// Restore queues in sorted alias order so a checkpoint with several
+	// unknown aliases always fails on the same one.
+	aliases := make([]string, 0, len(dto.Queues))
+	for alias := range dto.Queues {
+		aliases = append(aliases, alias)
+	}
+	sort.Strings(aliases)
+	for _, alias := range aliases {
 		if _, ok := m.tables[alias]; !ok {
 			return nil, fmt.Errorf("ivm: checkpoint queue for unknown alias %q", alias)
 		}
-		m.deltas[alias] = append([]Mod(nil), q...)
+		m.deltas[alias] = append([]Mod(nil), dto.Queues[alias]...)
 	}
 	// Redo the log suffix. The WAL (and injector) stay detached during
 	// replay: recovery must not re-log records or pick up new faults.

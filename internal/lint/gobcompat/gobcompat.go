@@ -1,0 +1,176 @@
+// Package gobcompat guards the checkpoint compatibility promise: every
+// type handed to gob (an Encoder.Encode/Decoder.Decode argument or a
+// gob.Register* call) must actually round-trip. Three silent failure
+// modes are reported:
+//
+//   - unexported struct fields: gob skips them without error, so a
+//     checkpoint writes fine, decodes fine, and has quietly lost state
+//     (unless the type implements GobEncoder/GobDecoder or the binary
+//     marshaler interfaces and owns its own wire format);
+//   - fields gob cannot encode at all (func, chan, unsafe.Pointer) and
+//     interface-typed fields, whose concrete types must be registered
+//     and therefore belong behind an explicit DTO;
+//   - unstable registrations: gob.Register derives the type name from
+//     the import path, so moving a package breaks every old checkpoint —
+//     gob.RegisterName with a compile-time-constant name is required.
+//
+// The walk recurses through struct, slice, array, map, and pointer
+// types, memoizing visited types so recursive DTOs terminate.
+package gobcompat
+
+import (
+	"go/ast"
+	"go/types"
+
+	"abivm/internal/lint"
+)
+
+// Analyzer is the gobcompat check.
+var Analyzer = &lint.Analyzer{
+	Name: "gobcompat",
+	Doc: "checks types passed to gob Encode/Decode/Register for " +
+		"unexported or unencodable fields and unstable registrations",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/gob" {
+				return true
+			}
+			switch {
+			case fn.Name() == "Register" && len(call.Args) == 1:
+				pass.Reportf(call.Pos(), "gob.Register derives the name from the import path, which is not stable across refactors; use gob.RegisterName with a constant name")
+				checkArgType(pass, info, call.Args[0])
+			case fn.Name() == "RegisterName" && len(call.Args) == 2:
+				if tv, ok := info.Types[call.Args[0]]; !ok || tv.Value == nil {
+					pass.Reportf(call.Args[0].Pos(), "gob.RegisterName name is not a compile-time constant; registration must be stable across builds")
+				}
+				checkArgType(pass, info, call.Args[1])
+			case (fn.Name() == "Encode" || fn.Name() == "Decode") && isCodecMethod(fn) && len(call.Args) == 1:
+				checkArgType(pass, info, call.Args[0])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCodecMethod reports whether fn is a method of gob.Encoder/Decoder
+// (as opposed to some local Encode helper).
+func isCodecMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Encoder" || name == "Decoder"
+}
+
+// checkArgType validates the static type of one gob argument.
+func checkArgType(pass *lint.Pass, info *types.Info, arg ast.Expr) {
+	t := info.TypeOf(arg)
+	if t == nil {
+		return
+	}
+	w := &walker{pass: pass, pos: arg, seen: map[types.Type]bool{}}
+	w.check(t, typeLabel(t))
+}
+
+type walker struct {
+	pass *lint.Pass
+	pos  ast.Expr
+	seen map[types.Type]bool
+}
+
+func (w *walker) check(t types.Type, path string) {
+	if w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	// Types owning their wire format are opaque to the walk.
+	if selfEncoding(t) {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			w.pass.Reportf(w.pos.Pos(), "gob cannot encode %s (unsafe.Pointer)", path)
+		}
+	case *types.Chan:
+		w.pass.Reportf(w.pos.Pos(), "gob cannot encode %s (channel)", path)
+	case *types.Signature:
+		w.pass.Reportf(w.pos.Pos(), "gob cannot encode %s (function)", path)
+	case *types.Interface:
+		w.pass.Reportf(w.pos.Pos(), "%s is interface-typed: gob needs every concrete type registered and the checkpoint format stops being explicit; encode a concrete DTO instead", path)
+	case *types.Pointer:
+		w.check(u.Elem(), path)
+	case *types.Slice:
+		w.check(u.Elem(), path+"[]")
+	case *types.Array:
+		w.check(u.Elem(), path+"[]")
+	case *types.Map:
+		w.check(u.Key(), path+" key")
+		w.check(u.Elem(), path+" value")
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				w.pass.Reportf(w.pos.Pos(), "unexported field %s.%s is silently dropped by gob; export it, move it out of the DTO, or implement GobEncoder/GobDecoder", path, f.Name())
+				continue
+			}
+			w.check(f.Type(), path+"."+f.Name())
+		}
+	}
+}
+
+// selfEncoding reports whether t (or *t) implements GobEncoder,
+// GobDecoder, or the encoding.Binary(M|Unm)arshaler shapes gob accepts.
+func selfEncoding(t types.Type) bool {
+	for _, name := range []string{"GobEncode", "GobDecode", "MarshalBinary", "UnmarshalBinary"} {
+		if hasMethod(t, name) || hasMethod(types.NewPointer(t), name) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// typeLabel renders a short name for the argument's type.
+func typeLabel(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,12 @@
+package gobcompat_test
+
+import (
+	"testing"
+
+	"abivm/internal/lint"
+	"abivm/internal/lint/gobcompat"
+)
+
+func TestGobCompatFixture(t *testing.T) {
+	lint.RunFixture(t, gobcompat.Analyzer, "testdata/src/gobby")
+}

@@ -1,0 +1,87 @@
+// Package gobby exercises the gobcompat analyzer: silently-dropped
+// unexported fields, unencodable fields, unstable registrations, and
+// the self-encoding (GobEncoder) near-miss that must stay clean.
+package gobby
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// GoodDTO is the explicit-DTO shape checkpoints should use.
+type GoodDTO struct {
+	Version int
+	Names   []string
+	ByKey   map[string]int64
+}
+
+type leaky struct {
+	Exported int
+	hidden   string
+}
+
+type withChan struct {
+	C chan int
+}
+
+// SelfCoded owns its wire format; its unexported field is its own
+// business.
+type SelfCoded struct {
+	raw []byte
+}
+
+// GobEncode implements gob.GobEncoder.
+func (s SelfCoded) GobEncode() ([]byte, error) { return s.raw, nil }
+
+// GobDecode implements gob.GobDecoder.
+func (s *SelfCoded) GobDecode(b []byte) error { s.raw = append([]byte(nil), b...); return nil }
+
+// Wrapper nests a self-encoding type: the walk must stop at it.
+type Wrapper struct {
+	Inner SelfCoded
+	Count int
+}
+
+// HasIface smuggles an interface into the checkpoint format.
+type HasIface struct {
+	V any
+}
+
+func encodeGood(w *bytes.Buffer) error { return gob.NewEncoder(w).Encode(GoodDTO{}) }
+
+func encodeWrapper(w *bytes.Buffer) error { return gob.NewEncoder(w).Encode(Wrapper{}) }
+
+func encodeLeaky(w *bytes.Buffer) error {
+	return gob.NewEncoder(w).Encode(leaky{}) // want "unexported field leaky.hidden"
+}
+
+func encodeChan(w *bytes.Buffer) error {
+	return gob.NewEncoder(w).Encode(withChan{}) // want "cannot encode withChan.C"
+}
+
+func encodeIface(w *bytes.Buffer) error {
+	return gob.NewEncoder(w).Encode(HasIface{}) // want "HasIface.V is interface-typed"
+}
+
+func decodeLeaky(r *bytes.Buffer) error {
+	var v leaky
+	return gob.NewDecoder(r).Decode(&v) // want "unexported field leaky.hidden"
+}
+
+func registerUnstable() {
+	gob.Register(GoodDTO{}) // want "not stable across refactors"
+}
+
+func registerStable() {
+	gob.RegisterName("gobby.GoodDTO", GoodDTO{})
+}
+
+func registerDynamic(name string) {
+	gob.RegisterName(name, GoodDTO{}) // want "not a compile-time constant"
+}
+
+// suppressed demonstrates the lint:ignore directive.
+func encodeSuppressed(w *bytes.Buffer) error {
+	//lint:ignore gobcompat scratch encoding for a size estimate, never persisted
+	return gob.NewEncoder(w).Encode(leaky{})
+}

@@ -61,9 +61,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Finding is one reported diagnostic.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+	// Suppressed carries the lint:ignore justification when the finding
+	// was waived; empty for live findings.
+	Suppressed string `json:"suppressed,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -73,10 +76,19 @@ func (f Finding) String() string {
 // Run applies the analyzers to the packages, drops findings suppressed by
 // lint:ignore directives, and returns the rest sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	kept, _, err := RunAll(pkgs, analyzers)
+	return kept, err
+}
+
+// RunAll is Run, but it also returns the findings that lint:ignore
+// directives suppressed (each tagged with its justification), so drivers
+// can count and publish the waived exceptions alongside the live ones —
+// the -json CI artifact reports both. Both slices are sorted by position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) (kept, suppressed []Finding, err error) {
 	var findings []Finding
 	for _, a := range analyzers {
 		if a.Run == nil {
-			return nil, fmt.Errorf("lint: analyzer %q has no Run function", a.Name)
+			return nil, nil, fmt.Errorf("lint: analyzer %q has no Run function", a.Name)
 		}
 		for _, pkg := range pkgs {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
@@ -84,11 +96,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, All: pkgs, findings: &findings}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
-	findings = suppressIgnored(pkgs, findings)
+	kept, suppressed = suppressIgnored(pkgs, findings)
+	sortFindings(kept)
+	sortFindings(suppressed)
+	return kept, suppressed, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -102,7 +120,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }
 
 // ignoreKey locates one lint:ignore directive.
@@ -111,62 +128,80 @@ type ignoreKey struct {
 	line int
 }
 
-// suppressIgnored removes findings covered by a lint:ignore directive on
-// the same line or the line directly above.
-func suppressIgnored(pkgs []*Package, findings []Finding) []Finding {
-	ignores := map[ignoreKey][]string{} // position -> analyzer names
+// ignoreDirective is one parsed lint:ignore comment.
+type ignoreDirective struct {
+	names  []string
+	reason string
+}
+
+// suppressIgnored splits findings into those that survive and those
+// covered by a lint:ignore directive on the same line or the line
+// directly above; suppressed findings carry the directive's reason.
+func suppressIgnored(pkgs []*Package, findings []Finding) (kept, suppressed []Finding) {
+	ignores := map[ignoreKey][]ignoreDirective{}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Syntax {
 			for _, cg := range file.Comments {
 				for _, c := range cg.List {
-					names, ok := parseIgnore(c.Text)
+					d, ok := parseIgnore(c.Text)
 					if !ok {
 						continue
 					}
 					pos := pkg.Fset.Position(c.Pos())
 					k := ignoreKey{pos.Filename, pos.Line}
-					ignores[k] = append(ignores[k], names...)
+					ignores[k] = append(ignores[k], d)
 				}
 			}
 		}
 	}
 	if len(ignores) == 0 {
-		return findings
+		return findings, nil
 	}
-	kept := findings[:0]
+	kept = findings[:0]
 	for _, f := range findings {
-		if ignoredAt(ignores, f.Pos.Filename, f.Pos.Line, f.Analyzer) ||
-			ignoredAt(ignores, f.Pos.Filename, f.Pos.Line-1, f.Analyzer) {
+		reason, ok := ignoredAt(ignores, f.Pos.Filename, f.Pos.Line, f.Analyzer)
+		if !ok {
+			reason, ok = ignoredAt(ignores, f.Pos.Filename, f.Pos.Line-1, f.Analyzer)
+		}
+		if ok {
+			f.Suppressed = reason
+			suppressed = append(suppressed, f)
 			continue
 		}
 		kept = append(kept, f)
 	}
-	return kept
+	return kept, suppressed
 }
 
-func ignoredAt(ignores map[ignoreKey][]string, file string, line int, analyzer string) bool {
-	for _, name := range ignores[ignoreKey{file, line}] {
-		if name == "*" || name == analyzer {
-			return true
+func ignoredAt(ignores map[ignoreKey][]ignoreDirective, file string, line int, analyzer string) (string, bool) {
+	for _, d := range ignores[ignoreKey{file, line}] {
+		for _, name := range d.names {
+			if name == "*" || name == analyzer {
+				return d.reason, true
+			}
 		}
 	}
-	return false
+	return "", false
 }
 
 // parseIgnore recognizes "//lint:ignore name1,name2 justification" and
-// returns the analyzer names. Directives without a justification are not
-// honored, so every suppression carries its reason in the source.
-func parseIgnore(text string) ([]string, bool) {
+// returns the analyzer names plus the justification. Directives without
+// a justification are not honored, so every suppression carries its
+// reason in the source.
+func parseIgnore(text string) (ignoreDirective, bool) {
 	const prefix = "//lint:ignore "
 	if !strings.HasPrefix(text, prefix) {
-		return nil, false
+		return ignoreDirective{}, false
 	}
 	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
 	fields := strings.Fields(rest)
 	if len(fields) < 2 { // names + at least one word of justification
-		return nil, false
+		return ignoreDirective{}, false
 	}
-	return strings.Split(fields[0], ","), true
+	return ignoreDirective{
+		names:  strings.Split(fields[0], ","),
+		reason: strings.Join(fields[1:], " "),
+	}, true
 }
 
 // InspectFuncDecls walks every function declaration with a body in the

@@ -25,8 +25,11 @@ func TestParseIgnore(t *testing.T) {
 			t.Errorf("parseIgnore(%q) ok=%v, want %v", c.text, ok, c.want != nil)
 			continue
 		}
-		if strings.Join(got, ",") != strings.Join(c.want, ",") {
-			t.Errorf("parseIgnore(%q) = %v, want %v", c.text, got, c.want)
+		if strings.Join(got.names, ",") != strings.Join(c.want, ",") {
+			t.Errorf("parseIgnore(%q) = %v, want %v", c.text, got.names, c.want)
+		}
+		if ok && got.reason == "" {
+			t.Errorf("parseIgnore(%q) lost the justification", c.text)
 		}
 	}
 }

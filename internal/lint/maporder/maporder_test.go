@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"abivm/internal/lint"
+	"abivm/internal/lint/maporder"
+)
+
+func TestMapOrderFixture(t *testing.T) {
+	lint.RunFixture(t, maporder.Analyzer, "testdata/src/mapord")
+}

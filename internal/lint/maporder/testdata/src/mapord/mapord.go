@@ -1,0 +1,117 @@
+// Package mapord exercises the maporder analyzer: map ranges whose
+// iteration order escapes, next to the blessed collect-then-sort idiom
+// and other order-independent near-misses.
+package mapord
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// collectSorted is the blessed idiom: the collected slice is sorted
+// before anything can observe it.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "without sorting out afterwards"
+	}
+	return out
+}
+
+func writeEach(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "calls Fprintf"
+	}
+}
+
+func sendEach(ch chan string, m map[string]bool) {
+	for k := range m {
+		ch <- k // want "channel send"
+	}
+}
+
+func visit(m map[int]string, fn func(string)) {
+	for _, v := range m {
+		fn(v) // want "invokes callback fn"
+	}
+}
+
+func firstMatch(m map[string]int, want int) string {
+	found := ""
+	for k, v := range m {
+		if v == want {
+			found = k // want "assigns an iteration-derived value to found"
+			break
+		}
+	}
+	return found
+}
+
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "floating-point accumulation"
+	}
+	return total
+}
+
+func returnDerived(m map[string]int) string {
+	for k := range m {
+		return k // want "returns a value derived from map iteration"
+	}
+	return ""
+}
+
+// sumInts is order-independent: integer addition commutes exactly.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert writes each key once; per-key map writes cannot race on order.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// sliceOutput ranges over a slice, not a map: order is the slice's.
+func sliceOutput(w io.Writer, xs []int) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+// existence returns a constant, the same whichever element is seen
+// first.
+func existence(m map[string]int, key string) bool {
+	for k := range m {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed demonstrates the lint:ignore directive.
+func suppressed(w io.Writer, m map[string]int) {
+	for k := range m {
+		//lint:ignore maporder debug dump, order intentionally irrelevant
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,12 @@
+package mutexheld_test
+
+import (
+	"testing"
+
+	"abivm/internal/lint"
+	"abivm/internal/lint/mutexheld"
+)
+
+func TestMutexHeldFixture(t *testing.T) {
+	lint.RunFixture(t, mutexheld.Analyzer, "testdata/src/lockbox")
+}

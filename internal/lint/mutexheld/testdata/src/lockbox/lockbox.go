@@ -1,0 +1,69 @@
+// Package lockbox exercises the mutexheld analyzer: unguarded accesses
+// to mutex-protected fields, next to the locked-caller helper idiom and
+// never-guarded fields that must stay clean.
+package lockbox
+
+import "sync"
+
+// Box guards count with a named mutex; name is set at construction and
+// never touched under the lock.
+type Box struct {
+	mu    sync.Mutex
+	count int
+	name  string
+}
+
+// New is a constructor, not a method: initialization is unguarded by
+// design.
+func New(name string) *Box { return &Box{name: name} }
+
+func (b *Box) Inc() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bump()
+}
+
+// bump runs only under Inc's lock: the call-graph exemption keeps it
+// clean.
+func (b *Box) bump() { b.count++ }
+
+func (b *Box) Count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+func (b *Box) Peek() int {
+	return b.count // want "which other methods guard with the mutex"
+}
+
+// Name touches only the never-guarded field.
+func (b *Box) Name() string { return b.name }
+
+// RBox embeds its RWMutex, the broker idiom.
+type RBox struct {
+	sync.RWMutex
+	vals []int
+}
+
+func (r *RBox) Add(v int) {
+	r.Lock()
+	defer r.Unlock()
+	r.vals = append(r.vals, v)
+}
+
+func (r *RBox) Len() int {
+	r.RLock()
+	defer r.RUnlock()
+	return len(r.vals)
+}
+
+func (r *RBox) Raw() []int {
+	return r.vals // want "which other methods guard with the mutex"
+}
+
+// Snapshot demonstrates the lint:ignore directive.
+func (r *RBox) Snapshot() []int {
+	//lint:ignore mutexheld only called from the owner goroutine before Serve starts
+	return r.vals
+}

@@ -1,0 +1,58 @@
+// Package detcore exercises the nondet analyzer: wall-clock, global
+// math/rand, environment reads, and map-keyed selects, next to the
+// seeded-generator near-misses that must stay clean.
+package detcore
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now() // want "reads the wall clock"
+	work()
+	return time.Since(start) // want "reads the wall clock"
+}
+
+func work() {}
+
+func globalRand() int {
+	return rand.Intn(10) // want "draws from the global generator"
+}
+
+func env() string {
+	return os.Getenv("ABIVM_MODE") // want "reads the process environment"
+}
+
+func mapSelect(chans map[string]chan int, k string) int {
+	select {
+	case v := <-chans[k]: // want "indexed out of a map"
+		return v
+	default:
+		return 0
+	}
+}
+
+// seeded constructs an explicitly seeded generator: the approved source
+// of randomness in deterministic packages.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// sliceSelect indexes a slice, whose order is deterministic.
+func sliceSelect(chans []chan int) int {
+	select {
+	case v := <-chans[0]:
+		return v
+	default:
+		return 0
+	}
+}
+
+// suppressed demonstrates the lint:ignore directive.
+func suppressed() time.Time {
+	//lint:ignore nondet timestamp feeds a report header, never replayed state
+	return time.Now()
+}

@@ -421,6 +421,7 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		ms = append(ms, m)
 	}
 	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return id(ms[i].name, ms[i].labels) < id(ms[j].name, ms[j].labels) })
 	out := make([]MetricSnapshot, 0, len(ms))
 	for _, m := range ms {
 		s := MetricSnapshot{
@@ -450,6 +451,5 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		}
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
 }

@@ -86,7 +86,9 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
+	//lint:ignore mutexheld tr is set at construction and never reassigned
 	c := s.tr.Start(name)
+	//lint:ignore mutexheld id is set at construction and never reassigned
 	c.parent = s.id
 	return c
 }

@@ -179,8 +179,15 @@ func (c *compiler) bindFrom() error {
 	if overrides > 1 {
 		return fmt.Errorf("plan: at most one FROM alias may be replaced by a source, got %d", overrides)
 	}
-	// Every named source must correspond to a FROM alias.
+	// Every named source must correspond to a FROM alias; validate in
+	// sorted order so multiple unknown aliases always fail on the same
+	// one.
+	sourceAliases := make([]string, 0, len(c.sources))
 	for alias := range c.sources {
+		sourceAliases = append(sourceAliases, alias)
+	}
+	sort.Strings(sourceAliases)
+	for _, alias := range sourceAliases {
 		if _, ok := c.entries[alias]; !ok {
 			return fmt.Errorf("plan: source for unknown alias %q", alias)
 		}
@@ -225,6 +232,7 @@ func (c *compiler) classifyWhere() error {
 		if len(tables) == 1 {
 			for alias := range tables {
 				if _, known := c.entries[alias]; !known {
+					//lint:ignore maporder tables has exactly one entry here
 					return fmt.Errorf("plan: predicate %s references unknown table %q", e, alias)
 				}
 				c.local[alias] = append(c.local[alias], e)
@@ -340,9 +348,17 @@ func (c *compiler) accessPath(alias string, t *storage.Table) exec.Op {
 			info.hi = tightenHi(info.hi, &storage.Bound{Value: val, Exclusive: op == "<"})
 		}
 	}
+	// Pick the most-hit column deterministically: ties must not be
+	// broken by map iteration order, or the chosen index (and with it
+	// the plan's work-unit profile) would vary between runs.
+	positions := make([]int, 0, len(best))
+	for pos := range best {
+		positions = append(positions, pos)
+	}
+	sort.Ints(positions)
 	var chosen *rangeInfo
-	for _, info := range best {
-		if chosen == nil || info.hits > chosen.hits {
+	for _, pos := range positions {
+		if info := best[pos]; chosen == nil || info.hits > chosen.hits {
 			chosen = info
 		}
 	}

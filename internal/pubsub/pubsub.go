@@ -270,10 +270,13 @@ func (b *Broker) Publish(table string, mod ivm.Mod) error {
 	b.obs.observePublish()
 	routed := false
 	for _, s := range b.subs {
+		// Resolve the table to an alias in registration order, not map
+		// order: a self-join view references the same table under two
+		// aliases, and which one receives the mod must be deterministic.
 		idx := -1
-		for alias, i := range s.aliasIdx {
+		for _, alias := range s.m.Aliases() {
 			if b.tableOf(s, alias) == table {
-				idx = i
+				idx = s.aliasIdx[alias]
 				mod.Alias = alias
 				break
 			}
@@ -312,10 +315,11 @@ func (b *Broker) publishDeferred(table string, mod ivm.Mod) (int, error) {
 	b.obs.observePublish()
 	routed := 0
 	for _, s := range b.subs {
+		// Registration-order alias resolution, as in Publish.
 		idx := -1
-		for alias, i := range s.aliasIdx {
+		for _, alias := range s.m.Aliases() {
 			if b.tableOf(s, alias) == table {
-				idx = i
+				idx = s.aliasIdx[alias]
 				mod.Alias = alias
 				break
 			}

@@ -260,7 +260,11 @@ func NewShardedBroker(db *storage.DB, opts ShardOptions) *ShardedBroker {
 }
 
 // Shards returns the number of worker-owned partitions.
-func (sb *ShardedBroker) Shards() int { return len(sb.shards) }
+func (sb *ShardedBroker) Shards() int {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return len(sb.shards)
+}
 
 // Close stops every shard worker. Queued-but-undrained modifications are
 // dropped (their live-table effects already happened); call Quiesce

@@ -66,9 +66,12 @@ func (o *shardObs) observeBatch(n, depth int) {
 
 // syncObs refreshes the shard's publisher-side gauges (admission count,
 // backlog sample, assignment load). Caller holds the ShardedBroker
-// mutex, which also guards the so pointer against SetObs.
+// mutex; the obs pointer itself is read under qmu, the lock SetObs
+// hands it over under.
 func (sh *shard) syncObs() {
+	sh.qmu.Lock()
 	o := sh.so
+	sh.qmu.Unlock()
 	if o == nil {
 		return
 	}
@@ -79,9 +82,12 @@ func (sh *shard) syncObs() {
 }
 
 // observeReject counts one admission-control rejection. Caller holds the
-// ShardedBroker mutex.
+// ShardedBroker mutex; the obs pointer itself is read under qmu, the
+// lock SetObs hands it over under.
 func (sh *shard) observeReject(r RejectReason) {
+	sh.qmu.Lock()
 	o := sh.so
+	sh.qmu.Unlock()
 	if o == nil {
 		return
 	}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 
 	"abivm/internal/btree"
 )
@@ -142,10 +143,14 @@ func (ix *Index) lookupEq(vals []Value) []int {
 		if !ok {
 			return nil
 		}
+		// The slot set is a map; return slots in a stable order so
+		// lookup results are replay-deterministic (the hash path already
+		// is: it returns slots in insertion order).
 		out := make([]int, 0, len(set))
 		for s := range set {
 			out = append(out, s)
 		}
+		sort.Ints(out)
 		return out
 	}
 	return nil

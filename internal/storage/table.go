@@ -267,7 +267,14 @@ func (t *Table) LookupVia(ix *Index, vals ...Value) []Row {
 func (t *Table) ScanRangeVia(ix *Index, lo, hi *Bound, fn func(r Row) bool) {
 	t.stats.IndexProbes++
 	ix.ascendRange(lo, hi, func(_ Value, slots map[int]struct{}) bool {
+		// Slot sets are maps; visit the rows of one index key in slot
+		// order so the scan order is replay-deterministic.
+		ordered := make([]int, 0, len(slots))
 		for slot := range slots {
+			ordered = append(ordered, slot)
+		}
+		sort.Ints(ordered)
+		for _, slot := range ordered {
 			t.stats.IndexEntries++
 			if !fn(t.rows[slot]) {
 				return false
