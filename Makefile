@@ -3,7 +3,7 @@ GO ?= go
 # retry loop, stuck worker pool) fails the run instead of wedging it.
 TEST_TIMEOUT ?= 10m
 
-.PHONY: build test race lint lint-json lint-self vet verify chaos bench bench-quick serve-smoke
+.PHONY: build test race lint lint-json lint-self vet verify chaos bench bench-quick bench-gate serve-smoke
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,12 @@ bench:
 # bench-quick is the CI smoke: one iteration of the headline benches.
 bench-quick:
 	sh scripts/bench.sh -quick -label quick
+
+# bench-gate re-runs the durability benchmarks at a pinned iteration
+# count and fails on a >15% ns/op or allocs/op regression against the
+# committed gate-baseline label in the newest BENCH_<date>.json.
+bench-gate:
+	sh scripts/bench_gate.sh
 
 # serve-smoke boots `abivm serve` and asserts the ops endpoints answer
 # with the required metric series.

@@ -421,6 +421,52 @@ func BenchmarkShardedStep(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointHeavy measures one broker step in the most
+// checkpoint-bound configuration the runtime supports: an 8-subscription
+// workload (each subscription replicating the full stations+sales base
+// state) checkpointing after EVERY step. Before incremental
+// checkpointing each op re-serialized eight full replica snapshots; with
+// it each op writes eight delta segments covering only the step's
+// changed rows. allocs/op is reported because the checkpoint path is the
+// durability hot path's dominant allocator.
+func BenchmarkCheckpointHeavy(b *testing.B) {
+	w, err := pubsub.NewDemoWorkloadSpec(1, pubsub.ScaledWorkloadSpec(8), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Broker.SetCheckpointEvery(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDrainHotPath measures the fault-free publish→drain→notify
+// step loop with periodic checkpoints disabled: pure hot-path work
+// (routing, WAL appends, queue drains, refresh, notification fan-out)
+// with every subscription refreshing every step. allocs/op is the
+// headline number — the allocation-lean pass (queue recycling, pending
+// scratch buffers, in-place step-vector reset) shows up here.
+func BenchmarkDrainHotPath(b *testing.B) {
+	spec := pubsub.ScaledWorkloadSpec(4)
+	spec.NotifyEvery = 1
+	w, err := pubsub.NewDemoWorkloadSpec(1, spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Broker.SetCheckpointEvery(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- micro-benchmarks on the core algorithms -------------------------
 
 // BenchmarkAStarSearch measures planning throughput on the standard

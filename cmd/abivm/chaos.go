@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"abivm/internal/fault"
 	"abivm/internal/pubsub"
@@ -12,12 +13,15 @@ import (
 
 // runChaos implements `abivm chaos`: it runs the seeded fault-injection
 // harness for a range of seeds and reports, per seed, how many faults
-// fired, how many notifications degraded, and whether the faulted run
-// stayed byte-identical to the fault-free baseline. Any divergence is a
-// fault-handling bug and makes the command exit nonzero.
+// fired, how many notifications degraded, which recovery variants were
+// compared (full checkpoints, incremental chains, scheduled compaction),
+// and whether every faulted variant stayed byte-identical to the
+// fault-free baseline. Any divergence is a fault-handling bug and makes
+// the command exit nonzero.
 //
 //	abivm chaos -seed 1 -runs 50 -steps 60
 //	abivm chaos -seed 1 -runs 5 -shards 4
+//	abivm chaos -seed 1 -runs 10 -chain-depth 3 -compact-every 4
 func runChaos(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "first seed of the range")
@@ -25,6 +29,8 @@ func runChaos(ctx context.Context, args []string) error {
 	steps := fs.Int("steps", 60, "broker steps per run")
 	cpEvery := fs.Int("checkpoint", 5, "checkpoint cadence in steps (0 disables)")
 	shards := fs.Int("shards", 0, "run the sharded runtime with this many shards and per-shard fault streams (0 = serial broker)")
+	chainDepth := fs.Int("chain-depth", 0, "checkpoint-chain depth of the incremental variants (0 derives it from each seed)")
+	compactEvery := fs.Int("compact-every", 0, "scheduled chain-compaction cadence in steps (0 derives it from each seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -32,7 +38,7 @@ func runChaos(ctx context.Context, args []string) error {
 		return fmt.Errorf("chaos: -runs must be >= 1")
 	}
 
-	fmt.Printf("%6s %7s %7s %9s %7s %10s\n", "seed", "steps", "faults", "degraded", "crashes", "identical")
+	fmt.Printf("%6s %7s %7s %9s %7s %10s  %s\n", "seed", "steps", "faults", "degraded", "crashes", "identical", "variants")
 	bad := 0
 	for i := 0; i < *runs; i++ {
 		if err := ctx.Err(); err != nil {
@@ -41,13 +47,14 @@ func runChaos(ctx context.Context, args []string) error {
 		s := *seed + int64(i)
 		rep, err := pubsub.RunChaos(pubsub.ChaosConfig{
 			Seed: s, Steps: *steps, CheckpointEvery: *cpEvery, Shards: *shards,
+			ChainDepth: *chainDepth, CompactEvery: *compactEvery,
 		})
 		if err != nil {
 			return fmt.Errorf("chaos: seed %d: %w", s, err)
 		}
-		fmt.Printf("%6d %7d %7d %9d %7d %10v\n",
+		fmt.Printf("%6d %7d %7d %9d %7d %10v  %s\n",
 			rep.Seed, rep.Steps, rep.TotalFaults, rep.Degraded,
-			rep.Faults[fault.SiteCrash], rep.Identical)
+			rep.Faults[fault.SiteCrash], rep.Identical, strings.Join(rep.Variants, " "))
 		if !rep.Identical {
 			bad++
 			fmt.Fprintf(os.Stderr, "seed %d diverged from the fault-free baseline:\n%s\n", s, rep.Diff)

@@ -1,0 +1,181 @@
+// Command benchgate compares fresh `go test -bench` output (stdin)
+// against a labeled baseline run in a benchjson history file and fails
+// when a benchmark regressed beyond the allowed budget. It is the CI
+// teeth behind the committed BENCH_*.json trail: the durability
+// benchmarks must stay within -max-regress percent of the committed
+// baseline on both ns/op and allocs/op.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'CheckpointHeavy|DrainHotPath' -benchmem . |
+//	    benchgate -file BENCH_2026-08-07.json -base incremental -max-regress 15
+//
+// Benchmarks on stdin with no counterpart in the baseline run are
+// reported and skipped; an empty intersection is an error (a vacuous
+// gate must not pass). allocs/op is compared exactly as recorded;
+// ns/op comparisons tolerate the runner-noise budget, which is why the
+// default budget is generous rather than tight.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line from stdin.
+type result struct {
+	name    string
+	metrics map[string]float64
+}
+
+// historyRun mirrors the benchjson on-disk run layout (the fields the
+// gate needs).
+type historyRun struct {
+	Label   string `json:"label"`
+	Results []struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"results"`
+}
+
+// historyFile mirrors the benchjson on-disk history layout.
+type historyFile struct {
+	Schema int          `json:"schema"`
+	Runs   []historyRun `json:"runs"`
+}
+
+// gateMetrics are the metrics the gate enforces, in report order.
+var gateMetrics = []string{"ns/op", "allocs/op"}
+
+func main() {
+	file := flag.String("file", "", "benchjson history file holding the baseline run (required)")
+	base := flag.String("base", "", "label of the baseline run inside -file (required)")
+	maxRegress := flag.Float64("max-regress", 15, "failure threshold: percent regression allowed on each gated metric")
+	flag.Parse()
+	if *file == "" || *base == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -file and -base are required")
+		os.Exit(2)
+	}
+	baseline, err := loadBaseline(*file, *base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	fresh, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	failed, compared := 0, 0
+	for _, r := range fresh {
+		want, ok := baseline[r.name]
+		if !ok {
+			fmt.Printf("SKIP %s: not in baseline %q\n", r.name, *base)
+			continue
+		}
+		for _, metric := range gateMetrics {
+			b, okB := want[metric]
+			h, okH := r.metrics[metric]
+			if !okB || !okH || b <= 0 {
+				continue
+			}
+			compared++
+			delta := 100 * (h - b) / b
+			status := "ok  "
+			if delta > *maxRegress {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Printf("%s %s %s: baseline %.4g, head %.4g (%+.1f%%, budget +%.0f%%)\n",
+				status, r.name, metric, b, h, delta, *maxRegress)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks compared — gate is vacuous")
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d metric(s) regressed beyond %.0f%% of baseline %q\n", failed, *maxRegress, *base)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d metric(s) within +%.0f%% of baseline %q\n", compared, *maxRegress, *base)
+}
+
+// loadBaseline returns the named run's metrics indexed by benchmark
+// name.
+func loadBaseline(path, label string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var hist historyFile
+	if err := json.Unmarshal(data, &hist); err != nil {
+		return nil, fmt.Errorf("%s is not a benchjson history: %w", path, err)
+	}
+	for _, run := range hist.Runs {
+		if run.Label != label {
+			continue
+		}
+		out := make(map[string]map[string]float64, len(run.Results))
+		for _, r := range run.Results {
+			out[r.Name] = r.Metrics
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("baseline run %q in %s has no results", label, path)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("no run labeled %q in %s", label, path)
+}
+
+// parseBench reads `go test -bench` output and collects the benchmark
+// lines, stripping the -GOMAXPROCS suffix the way benchjson records
+// them.
+func parseBench(src *os.File) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		r := result{name: name, metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				r.metrics = nil
+				break
+			}
+			r.metrics[fields[i+1]] = v
+		}
+		if r.metrics != nil {
+			out = append(out, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return out, nil
+}

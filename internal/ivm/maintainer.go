@@ -1,6 +1,7 @@
 package ivm
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"time"
@@ -50,6 +51,20 @@ type Maintainer struct {
 	// from restoring one shard's subscription from another shard's
 	// recovery point.
 	ns string
+
+	// dirty tracks, per replica table, the primary keys committed drains
+	// have touched since the last checkpoint segment — the key set an
+	// incremental checkpoint serializes instead of the full replica.
+	// Cleared only when a checkpoint segment covering it succeeds.
+	dirty map[string]storage.KeySet
+
+	// Checkpoint-path scratch state, reused across checkpoints so the
+	// durability hot path stops allocating per call: the replica
+	// serialization buffer, the queue-copy map of the checkpoint DTOs,
+	// and the free list backing those copies.
+	cpBuf    bytes.Buffer
+	cpQueues map[string][]Mod
+	qpool    modPool
 
 	// Observability hook: nil (the default) means no measurement work at
 	// all on the drain path, including time.Now calls.
@@ -101,6 +116,7 @@ func newSkeleton(live *storage.DB, query string) (*Maintainer, error) {
 		deltas: make(map[string][]Mod),
 		groups: make(map[string]*groupState),
 		bag:    make(map[string]*bagEntry),
+		dirty:  make(map[string]storage.KeySet),
 	}
 	seenTables := map[string]bool{}
 	for _, tr := range sel.From {
@@ -364,12 +380,20 @@ func (m *Maintainer) TableOf(alias string) string { return m.tables[alias] }
 
 // Pending returns the per-table delta queue sizes in alias order — the
 // paper's state vector s.
-func (m *Maintainer) Pending() []int {
-	out := make([]int, len(m.aliases))
-	for i, a := range m.aliases {
-		out[i] = len(m.deltas[a])
+func (m *Maintainer) Pending() []int { return m.PendingInto(nil) }
+
+// PendingInto is Pending writing into dst (grown when too small) — the
+// allocation-free variant for callers that poll the state vector every
+// step and can reuse a scratch slice. Returns the filled slice.
+func (m *Maintainer) PendingInto(dst []int) []int {
+	if cap(dst) < len(m.aliases) {
+		dst = make([]int, len(m.aliases))
 	}
-	return out
+	dst = dst[:len(m.aliases)]
+	for i, a := range m.aliases {
+		dst[i] = len(m.deltas[a])
+	}
+	return dst
 }
 
 // ProcessBatch drains the earliest k modifications of the alias's delta
@@ -466,7 +490,8 @@ func (m *Maintainer) processBatch(alias string, k int) error {
 	}
 
 	// Commit point: fold the delta into the view state (exact inverse
-	// deltas, cannot fail), log the drain, trim the queue.
+	// deltas, cannot fail), log the drain, mark the touched keys dirty
+	// for the next incremental checkpoint, trim the queue.
 	m.removeRows(minus)
 	m.addRows(plus)
 	if m.wal != nil {
@@ -477,8 +502,49 @@ func (m *Maintainer) processBatch(alias string, k int) error {
 		}
 	}
 	m.stats.BatchSetups++
-	m.deltas[alias] = queue[k:]
+	m.markDirty(m.tables[alias], repl, delRows)
+	m.markDirty(m.tables[alias], repl, insRows)
+	// Recycle the drained prefix in place instead of re-slicing: the
+	// queue is an append/drain cycle, and keeping the backing array's
+	// start fixed lets future arrivals reuse the freed cells. The batch
+	// prefix is dead at this point — only its Row contents (separate
+	// arrays) live on in the view state.
+	if k == len(queue) {
+		m.deltas[alias] = queue[:0]
+	} else {
+		n := copy(queue, queue[k:])
+		m.deltas[alias] = queue[:n]
+	}
 	return nil
+}
+
+// markDirty records the primary keys of rows as changed since the last
+// checkpoint segment. Over-marking is safe: the snapshot delta resolves
+// every dirty key against the current replica state at write time.
+func (m *Maintainer) markDirty(table string, repl *storage.Table, rows []storage.Row) {
+	if len(rows) == 0 {
+		return
+	}
+	ks := m.dirty[table]
+	if ks == nil {
+		ks = storage.KeySet{}
+		m.dirty[table] = ks
+	}
+	keyCols := repl.Schema().Key
+	for _, r := range rows {
+		keyVals := r.Project(keyCols)
+		ks[storage.EncodeKey(keyVals...)] = keyVals
+	}
+}
+
+// clearDirty empties the dirty-key sets (keeping their buckets) after a
+// checkpoint segment has captured them.
+func (m *Maintainer) clearDirty() {
+	for _, alias := range m.aliases {
+		if ks := m.dirty[m.tables[alias]]; ks != nil {
+			clear(ks)
+		}
+	}
 }
 
 // netDelta replays a batch against the replica state and collapses it to

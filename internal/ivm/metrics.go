@@ -38,6 +38,19 @@ type Metrics struct {
 	CheckpointBytes   *obs.Histogram
 	CheckpointSeconds *obs.Histogram
 
+	// Incremental checkpointing: CheckpointDeltas counts successful
+	// delta-segment writes (full-segment writes stay in Checkpoints) and
+	// CheckpointDeltaBytes observes each segment's size — the pair whose
+	// ratio to Checkpoints/CheckpointBytes shows what incremental
+	// checkpointing saves. CheckpointCompactions counts chain
+	// compactions and CheckpointChainDepth tracks the delta segments
+	// currently chained behind the base. Delta durations fold into
+	// CheckpointSeconds alongside full checkpoints.
+	CheckpointDeltas      *obs.Counter
+	CheckpointDeltaBytes  *obs.Histogram
+	CheckpointCompactions *obs.Counter
+	CheckpointChainDepth  *obs.Gauge
+
 	// Recoveries counts successful Recover calls; RecoveryReplay
 	// observes the WAL suffix length each recovery replayed.
 	Recoveries     *obs.Counter
@@ -62,7 +75,12 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		CheckpointBytes: r.Histogram("ivm_checkpoint_bytes",
 			obs.SizeBuckets()),
 		CheckpointSeconds: r.Histogram("ivm_checkpoint_seconds", obs.LatencyBuckets()),
-		Recoveries:        r.Counter("ivm_recoveries_total"),
+		CheckpointDeltas:  r.Counter("ivm_checkpoint_deltas_total"),
+		CheckpointDeltaBytes: r.Histogram("ivm_checkpoint_delta_bytes",
+			obs.SizeBuckets()),
+		CheckpointCompactions: r.Counter("ivm_checkpoint_compactions_total"),
+		CheckpointChainDepth:  r.Gauge("ivm_checkpoint_chain_depth"),
+		Recoveries:            r.Counter("ivm_recoveries_total"),
 		RecoveryReplay: r.Histogram("ivm_recovery_replayed_records",
 			[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}),
 	}
@@ -90,6 +108,24 @@ func (ms *Metrics) observeCheckpoint(elapsed time.Duration, bytes int) {
 	ms.Checkpoints.Inc()
 	ms.CheckpointBytes.Observe(float64(bytes))
 	ms.CheckpointSeconds.Observe(elapsed.Seconds())
+}
+
+// observeCheckpointDelta records one successful CheckpointDelta.
+func (ms *Metrics) observeCheckpointDelta(elapsed time.Duration, bytes int) {
+	if ms == nil {
+		return
+	}
+	ms.CheckpointDeltas.Inc()
+	ms.CheckpointDeltaBytes.Observe(float64(bytes))
+	ms.CheckpointSeconds.Observe(elapsed.Seconds())
+}
+
+// observeCompaction records one chain compaction.
+func (ms *Metrics) observeCompaction() {
+	if ms == nil {
+		return
+	}
+	ms.CheckpointCompactions.Inc()
 }
 
 // observeRecovery records one successful Recover with the replayed

@@ -65,22 +65,22 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 func (m *Maintainer) checkpoint(w io.Writer) error {
-	var replica bytes.Buffer
-	if err := m.replica.WriteSnapshot(&replica); err != nil {
+	// The replica serialization buffer and the queue copies are reused
+	// across checkpoints (cpBuf / the modPool free list): the encoder
+	// consumes them before this function returns, so nothing escapes.
+	m.cpBuf.Reset()
+	if err := m.replica.WriteSnapshot(&m.cpBuf); err != nil {
 		return fmt.Errorf("ivm: checkpoint replica snapshot: %w", err)
 	}
 	dto := checkpointDTO{
 		Version:   checkpointVersion,
-		Replica:   replica.Bytes(),
-		Queues:    make(map[string][]Mod, len(m.aliases)),
+		Replica:   m.cpBuf.Bytes(),
+		Queues:    m.takeQueues(),
 		Namespace: m.ns,
 	}
+	defer m.releaseQueues(dto.Queues)
 	if m.wal != nil {
 		dto.LSN = m.wal.LastLSN()
-	}
-	for _, alias := range m.aliases {
-		q := m.deltas[alias]
-		dto.Queues[alias] = append([]Mod(nil), q...)
 	}
 	if err := gob.NewEncoder(w).Encode(dto); err != nil {
 		return fmt.Errorf("ivm: encoding checkpoint: %w", err)
@@ -97,7 +97,7 @@ func (m *Maintainer) checkpoint(w io.Writer) error {
 // WAL is attached to the returned maintainer; replayed work is not
 // re-logged.
 func Recover(live *storage.DB, query string, cp io.Reader, wal *WAL) (*Maintainer, error) {
-	return recoverMaintainer(live, query, "", false, cp, wal, nil)
+	return recoverMaintainer(live, query, "", false, cp, nil, wal, nil)
 }
 
 // RecoverNamespaced is Recover with a namespace check: the checkpoint
@@ -106,7 +106,7 @@ func Recover(live *storage.DB, query string, cp io.Reader, wal *WAL) (*Maintaine
 // uses this to guarantee each shard restores only its own subscriptions'
 // recovery points ("<shard>/<subscription>" namespaces).
 func RecoverNamespaced(live *storage.DB, query, ns string, cp io.Reader, wal *WAL, ms *Metrics) (*Maintainer, error) {
-	return recoverMaintainer(live, query, ns, true, cp, wal, ms)
+	return recoverMaintainer(live, query, ns, true, cp, nil, wal, ms)
 }
 
 // RecoverWithMetrics is Recover with an instrumentation bundle: a
@@ -115,13 +115,15 @@ func RecoverNamespaced(live *storage.DB, query, ns string, cp io.Reader, wal *WA
 // post-recovery drains keep reporting to the same registry. A nil ms is
 // exactly Recover.
 func RecoverWithMetrics(live *storage.DB, query string, cp io.Reader, wal *WAL, ms *Metrics) (*Maintainer, error) {
-	return recoverMaintainer(live, query, "", false, cp, wal, ms)
+	return recoverMaintainer(live, query, "", false, cp, nil, wal, ms)
 }
 
 // recoverMaintainer is the shared implementation; checkNS enables the namespace
 // validation (wantNS may legitimately be "" for a namespaced caller that
-// never named its maintainer).
-func recoverMaintainer(live *storage.DB, query, wantNS string, checkNS bool, cp io.Reader, wal *WAL, ms *Metrics) (*Maintainer, error) {
+// never named its maintainer). A non-empty deltas is an incremental
+// checkpoint chain: each segment is validated (version, namespace, LSN
+// continuity) and folded into the base state before the view recompute.
+func recoverMaintainer(live *storage.DB, query, wantNS string, checkNS bool, cp io.Reader, deltas [][]byte, wal *WAL, ms *Metrics) (*Maintainer, error) {
 	var dto checkpointDTO
 	if err := gob.NewDecoder(cp).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("ivm: decoding checkpoint: %w", err)
@@ -139,6 +141,9 @@ func recoverMaintainer(live *storage.DB, query, wantNS string, checkNS bool, cp 
 	replica, err := storage.ReadSnapshot(bytes.NewReader(dto.Replica))
 	if err != nil {
 		return nil, fmt.Errorf("ivm: checkpoint replica: %w", err)
+	}
+	if err := foldChainInto(&dto, replica, deltas); err != nil {
+		return nil, err
 	}
 	m.replica = replica
 	m.stats = replica.Stats()
@@ -165,25 +170,31 @@ func recoverMaintainer(live *storage.DB, query, wantNS string, checkNS bool, cp 
 		}
 		m.deltas[alias] = append([]Mod(nil), dto.Queues[alias]...)
 	}
-	// Redo the log suffix. The WAL (and injector) stay detached during
-	// replay: recovery must not re-log records or pick up new faults.
+	// Redo the log suffix through the zero-copy iterator — recovery
+	// reads the records in place instead of copying the whole suffix.
+	// The WAL (and injector) stay detached during replay: recovery must
+	// not re-log records or pick up new faults.
 	replayed := 0
 	if wal != nil {
-		for _, rec := range wal.Since(dto.LSN) {
+		if err := wal.Replay(dto.LSN, func(rec WALRecord) error {
 			replayed++
 			switch rec.Kind {
 			case WALArrival:
 				if _, ok := m.tables[rec.Mod.Alias]; !ok {
-					return nil, fmt.Errorf("ivm: wal arrival for unknown alias %q", rec.Mod.Alias)
+					return fmt.Errorf("ivm: wal arrival for unknown alias %q", rec.Mod.Alias)
 				}
 				m.deltas[rec.Mod.Alias] = append(m.deltas[rec.Mod.Alias], rec.Mod)
+				return nil
 			case WALDrain:
 				if err := m.ProcessBatch(rec.Alias, rec.K); err != nil {
-					return nil, fmt.Errorf("ivm: replaying drain lsn=%d %s/%d: %w", rec.LSN, rec.Alias, rec.K, err)
+					return fmt.Errorf("ivm: replaying drain lsn=%d %s/%d: %w", rec.LSN, rec.Alias, rec.K, err)
 				}
+				return nil
 			default:
-				return nil, fmt.Errorf("ivm: unknown wal record kind %d at lsn %d", rec.Kind, rec.LSN)
+				return fmt.Errorf("ivm: unknown wal record kind %d at lsn %d", rec.Kind, rec.LSN)
 			}
+		}); err != nil {
+			return nil, err
 		}
 	}
 	m.wal = wal

@@ -2,6 +2,7 @@ package ivm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -81,30 +82,59 @@ func (w *WAL) LastLSN() uint64 {
 	return w.next - 1
 }
 
-// Since returns a copy of every record with LSN > lsn, in order.
+// suffixFrom returns the index of the first retained record with
+// LSN > lsn. Records are LSN-sorted (Append assigns monotonically, and
+// truncation only drops prefixes), so this is a binary search, not a
+// scan. Callers must hold w.mu.
+func (w *WAL) suffixFrom(lsn uint64) int {
+	return sort.Search(len(w.recs), func(i int) bool { return w.recs[i].LSN > lsn })
+}
+
+// Since returns a copy of every record with LSN > lsn, in order. Replay
+// is the zero-copy variant for recovery-sized suffixes.
 func (w *WAL) Since(lsn uint64) []WALRecord {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	i := 0
-	for i < len(w.recs) && w.recs[i].LSN <= lsn {
-		i++
-	}
+	i := w.suffixFrom(lsn)
 	out := make([]WALRecord, len(w.recs)-i)
 	copy(out, w.recs[i:])
 	return out
 }
 
+// Replay invokes fn on every record with LSN > lsn, in order, without
+// copying the suffix. The suffix slice is captured under the lock and
+// iterated outside it, which is safe because record cells are
+// write-once: Append only extends the log and TruncateThrough only
+// advances its start, so a captured suffix is immutable even while the
+// log keeps moving. Replay stops at fn's first error and returns it.
+func (w *WAL) Replay(lsn uint64, fn func(WALRecord) error) error {
+	w.mu.Lock()
+	i := w.suffixFrom(lsn)
+	recs := w.recs[i:len(w.recs):len(w.recs)]
+	w.mu.Unlock()
+	for _, rec := range recs {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // TruncateThrough drops every record with LSN <= lsn; a checkpoint at
 // lsn makes the prefix unnecessary for recovery. LSN assignment is
-// unaffected.
+// unaffected. Truncation re-slices instead of copying down — O(1), and
+// it preserves the write-once record cells that make Replay's captured
+// suffixes immutable; the abandoned prefix is reclaimed when the backing
+// array next grows (or immediately, when the log empties).
 func (w *WAL) TruncateThrough(lsn uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	i := 0
-	for i < len(w.recs) && w.recs[i].LSN <= lsn {
-		i++
+	i := w.suffixFrom(lsn)
+	if i == len(w.recs) {
+		w.recs = nil
+	} else {
+		w.recs = w.recs[i:]
 	}
-	w.recs = append(w.recs[:0], w.recs[i:]...)
 	w.obs.observeWALTruncate(len(w.recs))
 }
 

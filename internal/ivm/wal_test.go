@@ -1,6 +1,7 @@
 package ivm
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -47,6 +48,87 @@ func TestWALAppendSinceTruncate(t *testing.T) {
 	got := w.Since(0)
 	if len(got) != 3 || got[0].LSN != 4 || got[2].LSN != 6 {
 		t.Fatalf("Since(0) after truncate = %+v", got)
+	}
+}
+
+func TestWALReplay(t *testing.T) {
+	w := NewWAL()
+	for i := 0; i < 8; i++ {
+		if _, err := w.Append(WALRecord{Kind: WALDrain, Alias: "a", K: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.TruncateThrough(2)
+
+	// Replay sees exactly the records Since sees, in order.
+	var lsns []uint64
+	if err := w.Replay(4, func(rec WALRecord) error {
+		lsns = append(lsns, rec.LSN)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 4 || lsns[0] != 5 || lsns[3] != 8 {
+		t.Fatalf("Replay(4) visited %v", lsns)
+	}
+
+	// A replayed suffix stays intact even when the log is appended to and
+	// truncated mid-iteration — record cells are write-once.
+	count := 0
+	if err := w.Replay(0, func(rec WALRecord) error {
+		if count == 0 {
+			if _, err := w.Append(WALRecord{Kind: WALDrain, Alias: "b", K: 9}); err != nil {
+				t.Fatal(err)
+			}
+			w.TruncateThrough(6)
+		}
+		if want := uint64(3 + count); rec.LSN != want {
+			t.Fatalf("record %d has lsn %d, want %d", count, rec.LSN, want)
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 {
+		t.Fatalf("replayed %d records, want 6", count)
+	}
+
+	// Errors from fn stop the iteration and propagate.
+	calls := 0
+	err := w.Replay(0, func(rec WALRecord) error {
+		calls++
+		return errStop
+	})
+	if err != errStop || calls != 1 {
+		t.Fatalf("err = %v after %d calls", err, calls)
+	}
+}
+
+// errStop is a sentinel for testing error propagation from Replay.
+var errStop = errors.New("stop")
+
+func TestWALTruncateAllReleasesLog(t *testing.T) {
+	w := NewWAL()
+	for i := 0; i < 4; i++ {
+		if _, err := w.Append(WALRecord{Kind: WALDrain, Alias: "a", K: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.TruncateThrough(99)
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after full truncation", w.Len())
+	}
+	// LSNs keep advancing across a full truncation.
+	lsn, err := w.Append(WALRecord{Kind: WALDrain, Alias: "a", K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 5 {
+		t.Fatalf("lsn = %d, want 5", lsn)
+	}
+	if got := w.Since(0); len(got) != 1 || got[0].LSN != 5 {
+		t.Fatalf("Since(0) = %+v", got)
 	}
 }
 

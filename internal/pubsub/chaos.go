@@ -39,6 +39,13 @@ type ChaosConfig struct {
 	// on a widened workload (2n regions), per-shard fault injectors, and
 	// quiesced mid-run cost/health sampling folded into the transcripts.
 	Shards int
+	// ChainDepth is the checkpoint-chain depth of the incremental
+	// recovery variants; <= 0 derives it from the seed (1..4), so the
+	// seed sweep covers the depth space.
+	ChainDepth int
+	// CompactEvery is the scheduled chain-compaction cadence (in steps)
+	// of the compacted variant; <= 0 derives it from the seed (3..7).
+	CompactEvery int
 }
 
 // ChaosReport summarizes a faulted-vs-baseline comparison.
@@ -58,9 +65,14 @@ type ChaosReport struct {
 	// the Seeded injector).
 	Degraded int
 	// Identical reports whether notifications and final view contents of
-	// the two runs are byte-identical.
+	// every faulted variant are byte-identical to the baseline.
 	Identical bool
-	// Diff holds a diagnostic excerpt of the first divergence.
+	// Variants names the recovery configurations that were compared
+	// against the baseline (full checkpoints, incremental chain,
+	// scheduled compaction; one combined entry in sharded mode).
+	Variants []string
+	// Diff holds a diagnostic excerpt of the first divergence, prefixed
+	// with the diverging variant's name.
 	Diff string
 }
 
@@ -161,7 +173,7 @@ func regionQuery(region string) string {
 // the rendered final view contents, and the degraded-notification count.
 // The retry jitter is seeded from the same seed as the workload, so the
 // backoff sequence is part of the reproducible execution, not noise.
-func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery int) (transcript, finals string, degraded int, err error) {
+func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery, chainDepth, compactEvery int) (transcript, finals string, degraded int, err error) {
 	db, err := chaosDB()
 	if err != nil {
 		return "", "", 0, err
@@ -170,6 +182,7 @@ func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery int
 	b.setSleep(func(time.Duration) {})
 	b.SetRetrySeed(seed)
 	b.SetCheckpointEvery(cpEvery)
+	b.SetCheckpointChainDepth(chainDepth)
 	if inj != nil {
 		b.SetInjector(inj)
 	}
@@ -192,6 +205,14 @@ func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery int
 		ns, err := b.EndStep()
 		if err != nil {
 			return "", "", 0, fmt.Errorf("step %d: %w", t, err)
+		}
+		// Scheduled compaction interleaves with the periodic checkpoints
+		// and the injected crashes; recovery from a just-compacted chain
+		// must be indistinguishable from recovery from the chained form.
+		if compactEvery > 0 && (t+1)%compactEvery == 0 {
+			if err := b.CompactCheckpoints(); err != nil {
+				return "", "", 0, fmt.Errorf("step %d: compaction: %w", t, err)
+			}
 		}
 		for _, n := range ns {
 			if n.Degraded {
@@ -227,7 +248,7 @@ const chaosSampleEvery = 10
 // cost and pending vector into the transcript — reading them without the
 // quiesce would race the shard workers mid-drain and make the sample
 // depend on scheduling, exactly the bug the quiesce exists to prevent.
-func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec WorkloadSpec, factory func(int) fault.Injector, cpEvery int) (transcript, finals string, degraded int, err error) {
+func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec WorkloadSpec, factory func(int) fault.Injector, cpEvery, chainDepth, compactEvery int) (transcript, finals string, degraded int, err error) {
 	db, err := chaosDBSpec(spec)
 	if err != nil {
 		return "", "", 0, err
@@ -237,6 +258,7 @@ func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec Workloa
 	sb.setSleep(func(time.Duration) {})
 	sb.SetRetrySeed(seed)
 	sb.SetCheckpointEvery(cpEvery)
+	sb.SetCheckpointChainDepth(chainDepth)
 	if factory != nil {
 		sb.SetInjectors(factory)
 	}
@@ -277,6 +299,13 @@ func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec Workloa
 		if err != nil {
 			return "", "", 0, fmt.Errorf("step %d: %w", t, err)
 		}
+		// Scheduled compaction between barriers: each shard's broker takes
+		// its own lock, so the workers are idle with respect to chains.
+		if compactEvery > 0 && (t+1)%compactEvery == 0 {
+			if err := sb.CompactCheckpoints(); err != nil {
+				return "", "", 0, fmt.Errorf("step %d: compaction: %w", t, err)
+			}
+		}
 		for _, n := range ns {
 			if n.Degraded {
 				degraded++
@@ -309,10 +338,30 @@ func renderRows(rows []storage.Row) string {
 	return strings.Join(parts, "|")
 }
 
-// RunChaos runs the seeded workload fault-free and faulted, and compares
-// the two executions. The faulted run's injectors are seeded from the
-// same seed as the workload, so the whole comparison is reproducible
-// from one integer (plus, in sharded mode, the shard count).
+// chaosChainParams resolves the incremental chain depth and compaction
+// cadence for a seed: explicit config values win, otherwise both derive
+// from the seed so a seed sweep covers the (depth, cadence) space.
+func chaosChainParams(cfg ChaosConfig) (depth, compactEvery int) {
+	depth = cfg.ChainDepth
+	if depth <= 0 {
+		depth = 1 + int(((cfg.Seed%4)+4)%4)
+	}
+	compactEvery = cfg.CompactEvery
+	if compactEvery <= 0 {
+		compactEvery = 3 + int(((cfg.Seed%5)+5)%5)
+	}
+	return depth, compactEvery
+}
+
+// RunChaos runs the seeded workload fault-free once and faulted once per
+// recovery variant — full checkpoints (chain depth 0), an incremental
+// delta chain, and the same chain under a scheduled compaction cadence —
+// and compares every execution byte for byte. The fault schedule is
+// identical across variants (checkpoint layout never changes which sites
+// are polled), so any divergence isolates a bug in that variant's
+// recovery path. All injectors are seeded from the workload seed, so the
+// whole comparison is reproducible from one integer (plus, in sharded
+// mode, the shard count).
 func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	if cfg.Steps <= 0 {
 		cfg.Steps = 60
@@ -327,28 +376,51 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		return runChaosSharded(cfg)
 	}
 	script := chaosScript(cfg.Seed, cfg.Steps, DefaultWorkloadSpec())
+	depth, compactEvery := chaosChainParams(cfg)
 
-	baseT, baseF, _, err := chaosRun(script, cfg.Seed, nil, cfg.CheckpointEvery)
+	// The baseline runs with the compacted variant's configuration: a
+	// fault-free run's observable output must not depend on checkpoint
+	// layout at all, so comparing it against every variant also proves
+	// compaction alone perturbs nothing.
+	baseT, baseF, _, err := chaosRun(script, cfg.Seed, nil, cfg.CheckpointEvery, depth, compactEvery)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d: baseline run: %w", cfg.Seed, err)
 	}
-	inj := fault.NewSeeded(cfg.Seed, cfg.Rates)
-	faultT, faultF, degraded, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery)
-	if err != nil {
-		return nil, fmt.Errorf("chaos seed %d: faulted run: %w", cfg.Seed, err)
-	}
 
+	variants := []struct {
+		name                string
+		depth, compactEvery int
+	}{
+		{"full", 0, 0},
+		{fmt.Sprintf("incremental(depth=%d)", depth), depth, 0},
+		{fmt.Sprintf("compacted(depth=%d,every=%d)", depth, compactEvery), depth, compactEvery},
+	}
 	rep := &ChaosReport{
 		Seed:          cfg.Seed,
 		Steps:         cfg.Steps,
 		Notifications: strings.Count(baseT, "\n"),
-		Faults:        inj.Fired(),
-		TotalFaults:   inj.Total(),
-		Degraded:      degraded,
-		Identical:     baseT == faultT && baseF == faultF,
+		Identical:     true,
 	}
-	if !rep.Identical {
-		rep.Diff = firstDiff(baseT+baseF, faultT+faultF)
+	for _, v := range variants {
+		rep.Variants = append(rep.Variants, v.name)
+		inj := fault.NewSeeded(cfg.Seed, cfg.Rates)
+		faultT, faultF, degraded, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery, v.depth, v.compactEvery)
+		if err != nil {
+			return nil, fmt.Errorf("chaos seed %d: %s run: %w", cfg.Seed, v.name, err)
+		}
+		// Every variant sees the same fault schedule; report the counts
+		// once, from the first variant's injector.
+		if rep.Faults == nil {
+			rep.Faults = inj.Fired()
+			rep.TotalFaults = inj.Total()
+			rep.Degraded = degraded
+		}
+		if baseT != faultT || baseF != faultF {
+			rep.Identical = false
+			if rep.Diff == "" {
+				rep.Diff = v.name + " variant: " + firstDiff(baseT+baseF, faultT+faultF)
+			}
+		}
 	}
 	return rep, nil
 }
@@ -361,8 +433,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 	spec := ScaledWorkloadSpec(2 * cfg.Shards)
 	script := chaosScript(cfg.Seed, cfg.Steps, spec)
+	depth, compactEvery := chaosChainParams(cfg)
 
-	baseT, baseF, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, nil, cfg.CheckpointEvery)
+	baseT, baseF, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, nil, cfg.CheckpointEvery, depth, compactEvery)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d shards %d: baseline run: %w", cfg.Seed, cfg.Shards, err)
 	}
@@ -377,7 +450,7 @@ func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 		injs = append(injs, inj)
 		return inj
 	}
-	faultT, faultF, degraded, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, factory, cfg.CheckpointEvery)
+	faultT, faultF, degraded, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, factory, cfg.CheckpointEvery, depth, compactEvery)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d shards %d: faulted run: %w", cfg.Seed, cfg.Shards, err)
 	}
@@ -388,6 +461,7 @@ func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 		Shards:    cfg.Shards,
 		Faults:    map[fault.Site]int{},
 		Degraded:  degraded,
+		Variants:  []string{fmt.Sprintf("sharded(depth=%d,every=%d)", depth, compactEvery)},
 		Identical: baseT == faultT && baseF == faultF,
 	}
 	for _, line := range strings.Split(baseT, "\n") {

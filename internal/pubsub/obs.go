@@ -4,7 +4,6 @@ import (
 	"strconv"
 	"time"
 
-	"abivm/internal/core"
 	"abivm/internal/fault"
 	"abivm/internal/ivm"
 	"abivm/internal/obs"
@@ -108,6 +107,7 @@ func (b *Broker) SetObs(reg *obs.Registry, tr *obs.Tracer) {
 			s.obs = nil
 			s.m.SetMetrics(nil)
 			s.wal.SetMetrics(nil)
+			s.chain.SetMetrics(nil)
 		}
 		if seeded, ok := b.inj.(*fault.Seeded); ok {
 			seeded.SetObserver(nil)
@@ -130,6 +130,7 @@ func (b *Broker) wireSub(s *sub) {
 	s.obs = newSubObs(b.obs.reg, s.cfg.Name)
 	s.m.SetMetrics(b.obs.ivm)
 	s.wal.SetMetrics(b.obs.ivm)
+	s.chain.SetMetrics(b.obs.ivm)
 }
 
 // observeInjector hooks the fault counter into a seeded injector. Caller
@@ -231,7 +232,9 @@ func (o *brokerObs) syncSub(b *Broker, s *sub) {
 	if o == nil {
 		return
 	}
-	pending := core.Vector(s.m.Pending())
+	// syncSub runs on the step path under the broker's exclusive lock, so
+	// the subscription's reusable pending scratch is safe here.
+	pending := b.pending(s)
 	total := 0
 	for _, k := range pending {
 		total += k

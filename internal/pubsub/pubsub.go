@@ -14,7 +14,6 @@
 package pubsub
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -89,13 +88,20 @@ type sub struct {
 	stepMods core.Vector
 	total    float64
 
-	// Fault-tolerance state: the subscription's redo log, its latest
-	// checkpoint bytes (the recovery point), the last step a full refresh
-	// succeeded, and whether the QoS promise is currently broken.
+	// Fault-tolerance state: the subscription's redo log, its incremental
+	// checkpoint chain (the recovery point: base segment plus deltas), the
+	// last step a full refresh succeeded, and whether the QoS promise is
+	// currently broken.
 	wal       *ivm.WAL
-	cp        []byte
+	chain     *ivm.CheckpointChain
 	lastFresh int
 	degraded  bool
+
+	// pendBuf is the scratch slice behind Broker.pending: reused across
+	// steps so polling the state vector allocates nothing. Only the
+	// exclusive-lock step path may touch it; shared-lock readers
+	// (backlogCost, Health) must allocate their own copies.
+	pendBuf []int
 
 	// obs holds the subscription's labeled metric series; nil until the
 	// broker has a sink attached (see SetObs).
@@ -114,12 +120,13 @@ type Broker struct {
 	subs []*sub
 	step int
 
-	inj      fault.Injector
-	retryPol RetryPolicy
-	retryRNG *rand.Rand // seeded jitter source; nil disables jitter
-	cpEvery  int
-	sleep    func(time.Duration)
-	obs      *brokerObs
+	inj        fault.Injector
+	retryPol   RetryPolicy
+	retryRNG   *rand.Rand // seeded jitter source; nil disables jitter
+	cpEvery    int
+	chainDepth int
+	sleep      func(time.Duration)
+	obs        *brokerObs
 
 	// Sharded-runtime identity, set by ShardedBroker before any
 	// subscription exists: ns prefixes the durability namespace of every
@@ -136,10 +143,11 @@ const DefaultCheckpointEvery = 8
 // NewBroker wraps a database of base tables.
 func NewBroker(db *storage.DB) *Broker {
 	return &Broker{
-		db:       db,
-		retryPol: DefaultRetryPolicy(),
-		cpEvery:  DefaultCheckpointEvery,
-		sleep:    time.Sleep,
+		db:         db,
+		retryPol:   DefaultRetryPolicy(),
+		cpEvery:    DefaultCheckpointEvery,
+		chainDepth: ivm.DefaultChainDepth,
+		sleep:      time.Sleep,
 	}
 }
 
@@ -183,6 +191,40 @@ func (b *Broker) SetCheckpointEvery(n int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.cpEvery = n
+}
+
+// SetCheckpointChainDepth sets how many incremental delta segments a
+// subscription's checkpoint chain accumulates before compacting into a
+// fresh full base. 0 compacts on every checkpoint — the pre-chain
+// full-checkpoint behavior — and n < 0 selects ivm.DefaultChainDepth.
+// Applies to current and future subscriptions.
+func (b *Broker) SetCheckpointChainDepth(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n < 0 {
+		n = ivm.DefaultChainDepth
+	}
+	b.chainDepth = n
+	for _, s := range b.subs {
+		s.chain.SetMaxDepth(n)
+	}
+}
+
+// CompactCheckpoints folds every subscription's checkpoint chain into a
+// single full base segment. Compaction transforms only the stored
+// segments — maintainers are not consulted — so recovery before and
+// after a compaction produces identical state; operators call it (via
+// the ops endpoint or on a schedule) to bound recovery's segment-fold
+// work.
+func (b *Broker) CompactCheckpoints() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.subs {
+		if err := s.chain.Compact(); err != nil {
+			return fmt.Errorf("pubsub: %s: compacting checkpoint chain: %w", s.cfg.Name, err)
+		}
+	}
+	return nil
 }
 
 // setSleep replaces the backoff sleeper (tests use a no-op).
@@ -244,11 +286,10 @@ func (b *Broker) Subscribe(cfg Subscription) error {
 		ns = b.ns + "/" + cfg.Name
 	}
 	m.SetNamespace(ns)
-	var cp bytes.Buffer
-	if err := m.Checkpoint(&cp); err != nil {
+	s.chain = ivm.NewCheckpointChain(b.chainDepth)
+	if err := s.chain.Checkpoint(m); err != nil {
 		return fmt.Errorf("pubsub: subscription %q: initial checkpoint: %w", cfg.Name, err)
 	}
-	s.cp = cp.Bytes()
 	m.SetInjector(b.inj)
 	b.wireSub(s)
 	b.subs = append(b.subs, s)
@@ -364,6 +405,17 @@ func (b *Broker) backlogCost() float64 {
 	return total
 }
 
+// pending returns s's state vector through the subscription's reusable
+// scratch slice — the allocation-free variant of s.m.Pending() for the
+// step loop, which polls the vector several times per subscription per
+// step. The returned vector is valid until the next pending call for
+// the same subscription. Callers must hold b.mu exclusively; the
+// shared-lock readers (backlogCost, Health) allocate instead.
+func (b *Broker) pending(s *sub) core.Vector {
+	s.pendBuf = s.m.PendingInto(s.pendBuf)
+	return core.Vector(s.pendBuf)
+}
+
 // tableOf resolves a subscription alias to its base table name.
 func (b *Broker) tableOf(s *sub, alias string) string { return s.m.TableOf(alias) }
 
@@ -428,13 +480,17 @@ func (b *Broker) EndStep() ([]Notification, error) {
 			sp.End()
 			return nil, err
 		}
-		pending := core.Vector(s.m.Pending())
+		pending := b.pending(s)
 		act := s.pol.Act(b.step, s.stepMods.Clone(), pending.Clone(), false)
 		if !act.NonNegative() || !act.DominatedBy(pending) {
 			sp.End()
 			return nil, fmt.Errorf("pubsub: %s: policy returned out-of-range action %v", s.cfg.Name, act)
 		}
-		s.stepMods = core.NewVector(len(s.stepMods))
+		// The policy received a clone, so the live counter can be zeroed in
+		// place instead of reallocated each step.
+		for i := range s.stepMods {
+			s.stepMods[i] = 0
+		}
 		drained := !act.IsZero()
 		if _, err := b.process(s, act); err != nil {
 			if !fault.Transient(err) {
@@ -446,7 +502,7 @@ func (b *Broker) EndStep() ([]Notification, error) {
 			s.degraded = true
 			drained = false
 		}
-		if post := core.Vector(s.m.Pending()); s.cfg.Model.Full(post, s.cfg.QoS) {
+		if post := b.pending(s); s.cfg.Model.Full(post, s.cfg.QoS) {
 			if !s.degraded {
 				sp.End()
 				return nil, fmt.Errorf("pubsub: %s: policy %s left refresh cost %.4g > QoS %.4g",
@@ -484,7 +540,7 @@ func (b *Broker) EndStep() ([]Notification, error) {
 // fails even after retries yields a degraded notification carrying the
 // last consistent snapshot and explicit staleness instead of an error.
 func (b *Broker) notify(s *sub) (Notification, error) {
-	cost, err := b.process(s, core.Vector(s.m.Pending()))
+	cost, err := b.process(s, b.pending(s))
 	if err == nil {
 		s.degraded = false
 		s.lastFresh = b.step
@@ -501,7 +557,7 @@ func (b *Broker) notify(s *sub) (Notification, error) {
 		return Notification{}, err
 	}
 	s.degraded = true
-	over := s.cfg.Model.Total(core.Vector(s.m.Pending())) - s.cfg.QoS
+	over := s.cfg.Model.Total(b.pending(s)) - s.cfg.QoS
 	if over < 0 {
 		over = 0
 	}
@@ -532,7 +588,7 @@ func (b *Broker) maybeCrash(s *sub) error {
 	}
 	// Recovery validates the checkpoint's durability namespace: a shard
 	// can only restore its own subscription's recovery point.
-	m, err := ivm.RecoverNamespaced(b.db, s.cfg.Query, s.m.Namespace(), bytes.NewReader(s.cp), s.wal, ms)
+	m, err := ivm.RecoverChainNamespaced(b.db, s.cfg.Query, s.m.Namespace(), s.chain, s.wal, ms)
 	if err != nil {
 		return fmt.Errorf("pubsub: %s: recovery failed: %w", s.cfg.Name, err)
 	}
@@ -543,9 +599,11 @@ func (b *Broker) maybeCrash(s *sub) error {
 }
 
 // checkpointDue takes the periodic per-subscription checkpoints and
-// truncates the covered WAL prefixes. An injected checkpoint failure
-// skips that subscription's checkpoint — recovery simply replays a
-// longer WAL suffix, so nothing degrades.
+// truncates the covered WAL prefixes. Each checkpoint extends the
+// subscription's chain — a small delta segment in the steady state, a
+// full base only when the chain is empty or compaction triggers. An
+// injected checkpoint failure skips that subscription's checkpoint —
+// recovery simply replays a longer WAL suffix, so nothing degrades.
 func (b *Broker) checkpointDue() error {
 	if b.cpEvery <= 0 || (b.step+1)%b.cpEvery != 0 {
 		return nil
@@ -559,13 +617,10 @@ func (b *Broker) checkpointDue() error {
 				return err
 			}
 		}
-		lsn := s.wal.LastLSN()
-		var cp bytes.Buffer
-		if err := s.m.Checkpoint(&cp); err != nil {
+		if err := s.chain.Checkpoint(s.m); err != nil {
 			return fmt.Errorf("pubsub: %s: checkpoint: %w", s.cfg.Name, err)
 		}
-		s.cp = cp.Bytes()
-		s.wal.TruncateThrough(lsn)
+		s.wal.TruncateThrough(s.chain.TipLSN())
 	}
 	return nil
 }

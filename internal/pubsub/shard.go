@@ -166,6 +166,12 @@ type shard struct {
 	queue []ingest
 	so    *shardObs
 
+	// batch is the worker's reusable drain buffer. Only the worker
+	// goroutine touches it (drain runs nowhere else), so it needs no lock;
+	// reusing it keeps the steady-state ingest path free of per-drain
+	// allocations.
+	batch []ingest
+
 	wake chan struct{} // cap 1: coalesced "queue non-empty" signal
 	cmd  chan shardCmd
 	stop chan struct{}
@@ -334,9 +340,20 @@ func (sh *shard) drain(batchSize int) {
 		if batchSize > 0 && n > batchSize {
 			n = batchSize
 		}
-		batch := make([]ingest, n)
+		if cap(sh.batch) < n {
+			sh.batch = make([]ingest, n)
+		}
+		batch := sh.batch[:n]
 		copy(batch, sh.queue[:n])
-		sh.queue = sh.queue[n:]
+		// Copy-down instead of re-slicing forward: the queue keeps its
+		// backing array, so steady-state enqueue/drain cycles stop
+		// re-growing it.
+		if n == len(sh.queue) {
+			sh.queue = sh.queue[:0]
+		} else {
+			rest := copy(sh.queue, sh.queue[n:])
+			sh.queue = sh.queue[:rest]
+		}
 		so := sh.so
 		depth := len(sh.queue)
 		sh.qmu.Unlock()
@@ -697,6 +714,31 @@ func (sb *ShardedBroker) SetCheckpointEvery(n int) {
 	for _, sh := range sb.shards {
 		sh.b.SetCheckpointEvery(n)
 	}
+}
+
+// SetCheckpointChainDepth sets every shard's checkpoint-chain compaction
+// trigger (see Broker.SetCheckpointChainDepth).
+func (sb *ShardedBroker) SetCheckpointChainDepth(n int) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for _, sh := range sb.shards {
+		sh.b.SetCheckpointChainDepth(n)
+	}
+}
+
+// CompactCheckpoints folds every subscription's checkpoint chain on
+// every shard into a single base segment. Each shard's Broker takes its
+// own lock, so calling this between steps is safe alongside the worker
+// loops; the first failing shard's error wins.
+func (sb *ShardedBroker) CompactCheckpoints() error {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for _, sh := range sb.shards {
+		if err := sh.b.CompactCheckpoints(); err != nil {
+			return fmt.Errorf("pubsub: shard %d: %w", sh.id, err)
+		}
+	}
+	return nil
 }
 
 // setSleep replaces every shard's backoff sleeper (tests use a no-op).

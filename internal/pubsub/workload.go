@@ -151,7 +151,15 @@ type DemoWorkload struct {
 // A non-nil injector puts the workload into chaos mode (retries,
 // degradations, crash recoveries all live).
 func NewDemoWorkload(seed int64, inj fault.Injector) (*DemoWorkload, error) {
-	db, err := chaosDB()
+	return NewDemoWorkloadSpec(seed, DefaultWorkloadSpec(), inj)
+}
+
+// NewDemoWorkloadSpec is NewDemoWorkload over an arbitrary workload
+// spec: base tables and one subscription per region from spec, on a
+// serial broker. The durability benchmarks use it to size the replica
+// state a checkpoint has to cover.
+func NewDemoWorkloadSpec(seed int64, spec WorkloadSpec, inj fault.Injector) (*DemoWorkload, error) {
+	db, err := chaosDBSpec(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -160,7 +168,7 @@ func NewDemoWorkload(seed int64, inj fault.Injector) (*DemoWorkload, error) {
 	if inj != nil {
 		b.SetInjector(inj)
 	}
-	subs, err := demoSubscriptions()
+	subs, err := demoSubscriptionsSpec(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +177,7 @@ func NewDemoWorkload(seed int64, inj fault.Injector) (*DemoWorkload, error) {
 			return nil, err
 		}
 	}
-	return &DemoWorkload{Broker: b, gen: newEventGen(seed)}, nil
+	return &DemoWorkload{Broker: b, gen: newEventGenSpec(seed, spec)}, nil
 }
 
 // Step publishes one generated step of modifications and closes the

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"encoding/gob"
 )
@@ -115,4 +116,135 @@ func ReadSnapshot(r io.Reader) (*DB, error) {
 	// Restoring charged insert/index counters; a fresh DB starts clean.
 	db.stats = Stats{}
 	return db, nil
+}
+
+// Snapshot deltas: the differential counterpart of WriteSnapshot /
+// ReadSnapshot. A delta captures only the rows behind a caller-provided
+// dirty-key set, so a database that changes a handful of rows between
+// checkpoints serializes a handful of rows instead of every table. The
+// DTOs below are the delta format's compatibility surface, mirroring the
+// full-snapshot DTOs.
+
+// snapshotDeltaVersion guards against reading snapshot deltas from
+// incompatible layouts.
+const snapshotDeltaVersion = 1
+
+// KeySet is one table's dirty keys: encoded primary key -> the key
+// values. Over-marking is harmless — a dirty key whose row is unchanged
+// round-trips as an identical upsert.
+type KeySet map[string][]Value
+
+type tableDeltaDTO struct {
+	Name string
+	// Upserts carries the full current row of every dirty key present in
+	// the table; Deletes carries the key values of dirty keys absent from
+	// it.
+	Upserts [][]valueDTO
+	Deletes [][]valueDTO
+}
+
+type dbDeltaDTO struct {
+	Version int
+	Tables  []tableDeltaDTO
+}
+
+// WriteSnapshotDelta serializes the state of the dirty keys to w: a
+// dirty key present in its table becomes an upsert carrying the full
+// current row, an absent one becomes a delete. Applying the delta to any
+// database that agrees with this one on every non-dirty key (via
+// ApplySnapshotDelta) reproduces this database's logical content.
+// Tables and keys are visited in sorted order, so identical (db, dirty)
+// pairs produce identical bytes. Index definitions are not part of a
+// delta — they belong to the base snapshot.
+func (db *DB) WriteSnapshotDelta(w io.Writer, dirty map[string]KeySet) error {
+	dto := dbDeltaDTO{Version: snapshotDeltaVersion}
+	names := make([]string, 0, len(dirty))
+	for name, ks := range dirty {
+		if len(ks) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t, ok := db.tables[name]
+		if !ok {
+			return fmt.Errorf("storage: snapshot delta for unknown table %q", name)
+		}
+		ks := dirty[name]
+		keys := make([]string, 0, len(ks))
+		for k := range ks {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		td := tableDeltaDTO{Name: name}
+		for _, k := range keys {
+			// Resolve through the primary-key index directly: a checkpoint
+			// must not charge probe work to the shared maintenance counters.
+			if slot, found := t.pk[k]; found {
+				row := t.rows[slot]
+				enc := make([]valueDTO, len(row))
+				for i, v := range row {
+					enc[i] = toDTO(v)
+				}
+				td.Upserts = append(td.Upserts, enc)
+			} else {
+				keyVals := ks[k]
+				enc := make([]valueDTO, len(keyVals))
+				for i, v := range keyVals {
+					enc[i] = toDTO(v)
+				}
+				td.Deletes = append(td.Deletes, enc)
+			}
+		}
+		dto.Tables = append(dto.Tables, td)
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// ApplySnapshotDelta applies a delta stream to db in place: upserts
+// update the existing row or insert a new one, deletes remove the row
+// when present (deleting an already-absent key is a no-op — the writer
+// may have over-marked a key that never reached this base). Every table
+// named by the delta must exist in db.
+func ApplySnapshotDelta(db *DB, r io.Reader) error {
+	var dto dbDeltaDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return fmt.Errorf("storage: decoding snapshot delta: %w", err)
+	}
+	if dto.Version != snapshotDeltaVersion {
+		return fmt.Errorf("storage: snapshot delta version %d, want %d", dto.Version, snapshotDeltaVersion)
+	}
+	for _, td := range dto.Tables {
+		tbl, err := db.Table(td.Name)
+		if err != nil {
+			return fmt.Errorf("storage: snapshot delta: %w", err)
+		}
+		key := tbl.Schema().Key
+		for _, enc := range td.Upserts {
+			row := make(Row, len(enc))
+			for i, d := range enc {
+				row[i] = fromDTO(d)
+			}
+			keyVals := row.Project(key)
+			if _, found := tbl.Get(keyVals...); found {
+				if _, err := tbl.Update(keyVals, row); err != nil {
+					return fmt.Errorf("storage: snapshot delta upsert in %s: %w", td.Name, err)
+				}
+			} else if err := tbl.Insert(row); err != nil {
+				return fmt.Errorf("storage: snapshot delta upsert in %s: %w", td.Name, err)
+			}
+		}
+		for _, enc := range td.Deletes {
+			keyVals := make([]Value, len(enc))
+			for i, d := range enc {
+				keyVals[i] = fromDTO(d)
+			}
+			if _, found := tbl.Get(keyVals...); found {
+				if _, err := tbl.Delete(keyVals...); err != nil {
+					return fmt.Errorf("storage: snapshot delta delete in %s: %w", td.Name, err)
+				}
+			}
+		}
+	}
+	return nil
 }
