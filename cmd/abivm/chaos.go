@@ -22,6 +22,7 @@ import (
 //	abivm chaos -seed 1 -runs 50 -steps 60
 //	abivm chaos -seed 1 -runs 5 -shards 4
 //	abivm chaos -seed 1 -runs 10 -chain-depth 3 -compact-every 4
+//	abivm chaos -seed 1 -runs 50 -data-dir /tmp/abivm -disk-faults
 func runChaos(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "first seed of the range")
@@ -31,6 +32,9 @@ func runChaos(ctx context.Context, args []string) error {
 	shards := fs.Int("shards", 0, "run the sharded runtime with this many shards and per-shard fault streams (0 = serial broker)")
 	chainDepth := fs.Int("chain-depth", 0, "checkpoint-chain depth of the incremental variants (0 derives it from each seed)")
 	compactEvery := fs.Int("compact-every", 0, "scheduled chain-compaction cadence in steps (0 derives it from each seed)")
+	disk := fs.Bool("disk", false, "add a disk-backed durability variant (in-memory files unless -data-dir)")
+	dataDir := fs.String("data-dir", "", "root directory for the disk variants' WAL and checkpoint files (implies -disk)")
+	diskFaults := fs.Bool("disk-faults", false, "also run the disk variant under seeded byte-level media damage (implies -disk)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,7 +42,8 @@ func runChaos(ctx context.Context, args []string) error {
 		return fmt.Errorf("chaos: -runs must be >= 1")
 	}
 
-	fmt.Printf("%6s %7s %7s %9s %7s %10s  %s\n", "seed", "steps", "faults", "degraded", "crashes", "identical", "variants")
+	fmt.Printf("%6s %7s %7s %9s %7s %6s %9s %10s  %s\n",
+		"seed", "steps", "faults", "degraded", "crashes", "media", "diskfall", "identical", "variants")
 	bad := 0
 	for i := 0; i < *runs; i++ {
 		if err := ctx.Err(); err != nil {
@@ -48,13 +53,15 @@ func runChaos(ctx context.Context, args []string) error {
 		rep, err := pubsub.RunChaos(pubsub.ChaosConfig{
 			Seed: s, Steps: *steps, CheckpointEvery: *cpEvery, Shards: *shards,
 			ChainDepth: *chainDepth, CompactEvery: *compactEvery,
+			Disk: *disk, DataDir: *dataDir, DiskFaults: *diskFaults,
 		})
 		if err != nil {
 			return fmt.Errorf("chaos: seed %d: %w", s, err)
 		}
-		fmt.Printf("%6d %7d %7d %9d %7d %10v  %s\n",
+		fmt.Printf("%6d %7d %7d %9d %7d %6d %9d %10v  %s\n",
 			rep.Seed, rep.Steps, rep.TotalFaults, rep.Degraded,
-			rep.Faults[fault.SiteCrash], rep.Identical, strings.Join(rep.Variants, " "))
+			rep.Faults[fault.SiteCrash], rep.TotalMediaFaults, rep.DiskStats.Fallbacks,
+			rep.Identical, strings.Join(rep.Variants, " "))
 		if !rep.Identical {
 			bad++
 			fmt.Fprintf(os.Stderr, "seed %d diverged from the fault-free baseline:\n%s\n", s, rep.Diff)

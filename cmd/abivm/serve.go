@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"abivm/internal/durable"
 	"abivm/internal/fault"
 	"abivm/internal/obs"
 	"abivm/internal/pubsub"
@@ -26,6 +27,7 @@ import (
 //
 //	abivm serve -addr 127.0.0.1:8080 -seed 1 -interval 50ms -faults
 //	abivm serve -shards 4 -faults
+//	abivm serve -data-dir /var/lib/abivm -faults
 func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -36,8 +38,13 @@ func runServe(ctx context.Context, args []string) error {
 	faults := fs.Bool("faults", false, "run the workload under seeded fault injection")
 	tracebuf := fs.Int("tracebuf", obs.DefaultTraceCapacity, "span ring-buffer capacity")
 	shards := fs.Int("shards", 0, "run the sharded broker runtime with this many shards over a 2*shards-region workload (0 = serial broker)")
+	dataDir := fs.String("data-dir", "", "persist each subscription's WAL and checkpoints under this directory (empty = in-memory durability)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var opener durable.Opener
+	if *dataDir != "" {
+		opener = durable.DirOpener(*dataDir)
 	}
 
 	// Both runtimes expose the same stepping and health surface; the
@@ -53,7 +60,7 @@ func runServe(ctx context.Context, args []string) error {
 		if *faults {
 			factory = pubsub.SeededShardInjectors(*seed, fault.DefaultRates())
 		}
-		w, err := pubsub.NewShardedDemoWorkload(*seed, *shards, pubsub.ScaledWorkloadSpec(2*(*shards)), factory)
+		w, err := pubsub.NewShardedDemoWorkloadDurable(*seed, *shards, pubsub.ScaledWorkloadSpec(2*(*shards)), factory, opener)
 		if err != nil {
 			return fmt.Errorf("serve: %w", err)
 		}
@@ -64,7 +71,7 @@ func runServe(ctx context.Context, args []string) error {
 		if *faults {
 			inj = fault.NewSeeded(*seed, fault.DefaultRates())
 		}
-		w, err := pubsub.NewDemoWorkload(*seed, inj)
+		w, err := pubsub.NewDemoWorkloadDurable(*seed, pubsub.DefaultWorkloadSpec(), inj, opener)
 		if err != nil {
 			return fmt.Errorf("serve: %w", err)
 		}

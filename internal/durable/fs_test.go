@@ -1,0 +1,90 @@
+package durable
+
+import (
+	"errors"
+	iofs "io/fs"
+	"reflect"
+	"testing"
+)
+
+// TestFSContract runs every FS implementation through the behavior the
+// Store depends on: read-your-writes, append creation, atomic-ish
+// rename with replace, idempotent remove, sorted listing, not-exist
+// errors, and path-escape rejection.
+func TestFSContract(t *testing.T) {
+	impls := map[string]func(t *testing.T) FS{
+		"MemFS": func(t *testing.T) FS { return NewMemFS() },
+		"DirFS": func(t *testing.T) FS {
+			fsys, err := NewDirFS(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fsys
+		},
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			fsys := mk(t)
+			if _, err := fsys.ReadFile("missing"); !errors.Is(err, iofs.ErrNotExist) {
+				t.Fatalf("reading a missing file: %v, want ErrNotExist", err)
+			}
+			if err := fsys.Rename("missing", "also-missing"); !errors.Is(err, iofs.ErrNotExist) {
+				t.Fatalf("renaming a missing file: %v, want ErrNotExist", err)
+			}
+			if err := fsys.Remove("missing"); err != nil {
+				t.Fatalf("removing a missing file must be idempotent: %v", err)
+			}
+			if err := fsys.WriteFile("a.tmp", []byte("one")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.WriteFile("a.tmp", []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.AppendFile("log", []byte("ab")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.AppendFile("log", []byte("cd")); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := fsys.ReadFile("log"); string(got) != "abcd" {
+				t.Fatalf("append produced %q, want abcd", got)
+			}
+			if err := fsys.Rename("a.tmp", "quarantine/a"); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := fsys.ReadFile("quarantine/a"); string(got) != "two" {
+				t.Fatalf("rename carried %q, want two", got)
+			}
+			if err := fsys.WriteFile("b", []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.AppendFile("c", []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.Rename("c", "b"); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := fsys.ReadFile("b"); string(got) != "new" {
+				t.Fatalf("rename-over-existing left %q, want new", got)
+			}
+			names, err := fsys.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := []string{"b", "log", "quarantine/a"}; !reflect.DeepEqual(names, want) {
+				t.Fatalf("List() = %v, want %v", names, want)
+			}
+			if err := fsys.Remove("b"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fsys.ReadFile("b"); !errors.Is(err, iofs.ErrNotExist) {
+				t.Fatalf("removed file still readable: %v", err)
+			}
+			for _, bad := range []string{"", "../escape", "/abs", "a/../../b", ".."} {
+				if err := fsys.WriteFile(bad, []byte("x")); err == nil {
+					t.Errorf("escaping name %q accepted", bad)
+				}
+			}
+		})
+	}
+}

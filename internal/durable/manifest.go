@@ -1,0 +1,79 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+)
+
+// manifestVersion guards against reading manifests written by an
+// incompatible layout.
+const manifestVersion = 1
+
+// manifestName is the single well-known file in a store directory; every
+// other artifact is reached through it.
+const manifestName = "MANIFEST"
+
+// segmentRefDTO names one checkpoint delta segment in the manifest and
+// carries everything recovery needs to validate it without decoding:
+// content checksum and the FromLSN→LSN chain link.
+type segmentRefDTO struct {
+	Name    string
+	CRC     uint32
+	FromLSN uint64
+	LSN     uint64
+}
+
+// manifestDTO is the on-disk manifest: the checkpoint chain's shape. Gen
+// is the base generation counter that keeps artifact names fresh across
+// chain resets (a stale same-named file from an earlier generation can
+// never shadow a current one). The WAL segments are deliberately *not*
+// listed — their names carry their own first-LSN, and recovery trusts
+// frame checksums plus LSN continuity rather than a catalog that would
+// need rewriting on every sync.
+type manifestDTO struct {
+	Version   int
+	Namespace string
+	Gen       uint64
+	BaseName  string
+	BaseCRC   uint32
+	BaseLSN   uint64
+	Deltas    []segmentRefDTO
+}
+
+// encodeManifest serializes m as a 4-byte little-endian CRC32C followed
+// by the gob payload it covers. The checksum-first layout means a
+// truncated or bit-flipped manifest is detected before gob ever parses
+// attacker-shaped bytes.
+func encodeManifest(m *manifestDTO) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4))
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("durable: encoding manifest: %w", err)
+	}
+	out := buf.Bytes()
+	binary.LittleEndian.PutUint32(out, crcOf(out[4:]))
+	return out, nil
+}
+
+// decodeManifest is encodeManifest's inverse; any defect — short file,
+// checksum mismatch, gob error, wrong version — comes back as an error
+// the recovery ladder treats as a corrupt manifest.
+func decodeManifest(data []byte) (*manifestDTO, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("durable: manifest truncated to %d bytes", len(data))
+	}
+	sum := binary.LittleEndian.Uint32(data)
+	if got := crcOf(data[4:]); got != sum {
+		return nil, fmt.Errorf("durable: manifest checksum mismatch: stored %08x, computed %08x", sum, got)
+	}
+	var m manifestDTO
+	if err := gob.NewDecoder(bytes.NewReader(data[4:])).Decode(&m); err != nil {
+		return nil, fmt.Errorf("durable: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("durable: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	return &m, nil
+}

@@ -1,0 +1,166 @@
+package fault_test
+
+import (
+	"fmt"
+	iofs "io/fs"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"abivm/internal/fault"
+)
+
+// mapFS is a minimal MediaFS for exercising the injector without
+// pulling in the durable layer.
+type mapFS map[string][]byte
+
+func (m mapFS) ReadFile(name string) ([]byte, error) {
+	data, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("mapfs read %q: %w", name, iofs.ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m mapFS) WriteFile(name string, data []byte) error {
+	m[name] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m mapFS) AppendFile(name string, data []byte) error {
+	m[name] = append(m[name], data...)
+	return nil
+}
+
+func (m mapFS) Rename(oldName, newName string) error {
+	data, ok := m[oldName]
+	if !ok {
+		return fmt.Errorf("mapfs rename %q: %w", oldName, iofs.ErrNotExist)
+	}
+	delete(m, oldName)
+	m[newName] = data
+	return nil
+}
+
+func (m mapFS) Remove(name string) error {
+	delete(m, name)
+	return nil
+}
+
+func (m mapFS) List() ([]string, error) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// driveMedia runs a fixed operation script against a seeded injector
+// and returns the surviving file state.
+func driveMedia(t *testing.T, seed int64, rates fault.MediaRates) (mapFS, map[fault.MediaFault]int) {
+	t.Helper()
+	inner := mapFS{}
+	media := fault.NewMedia(inner, seed, rates)
+	for i := 0; i < 40; i++ {
+		if err := media.AppendFile("wal", []byte(fmt.Sprintf("record-%02d|", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 4 {
+			if err := media.WriteFile("seg.tmp", []byte(strings.Repeat("s", 64))); err != nil {
+				t.Fatal(err)
+			}
+			if err := media.Rename("seg.tmp", fmt.Sprintf("seg-%02d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return inner, media.Fired()
+}
+
+func TestMediaDeterministicPerSeed(t *testing.T) {
+	rates := fault.DefaultMediaRates()
+	// High enough volume that several kinds fire; same seed must damage
+	// the same bytes.
+	aFS, aFired := driveMedia(t, 42, rates)
+	bFS, bFired := driveMedia(t, 42, rates)
+	if !reflect.DeepEqual(map[string][]byte(aFS), map[string][]byte(bFS)) {
+		t.Error("same seed produced different file damage")
+	}
+	if !reflect.DeepEqual(aFired, bFired) {
+		t.Errorf("same seed fired %v vs %v", aFired, bFired)
+	}
+	cFS, _ := driveMedia(t, 43, rates)
+	if reflect.DeepEqual(map[string][]byte(aFS), map[string][]byte(cFS)) {
+		t.Error("different seeds produced identical damage (suspicious)")
+	}
+}
+
+func TestMediaEveryKindFiresAcrossSeeds(t *testing.T) {
+	total := map[fault.MediaFault]int{}
+	for seed := int64(0); seed < 30; seed++ {
+		_, fired := driveMedia(t, seed, fault.DefaultMediaRates())
+		for k, n := range fired {
+			total[k] += n
+		}
+	}
+	for _, kind := range []fault.MediaFault{fault.MediaTornAppend, fault.MediaBitFlip,
+		fault.MediaTruncate, fault.MediaDropFile, fault.MediaSkipRename} {
+		if total[kind] == 0 {
+			t.Errorf("fault kind %s never fired across 30 seeds", kind)
+		}
+	}
+}
+
+func TestMediaRunCap(t *testing.T) {
+	inner := mapFS{}
+	media := fault.NewMedia(inner, 1, fault.MediaRates{TornAppend: 1})
+	// With certainty-rate faults the consecutive-run cap admits exactly
+	// MediaMaxRun fires before forcing a clean operation: F F S F F S.
+	for i := 0; i < 6; i++ {
+		if err := media.AppendFile("wal", []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := media.Fired()[fault.MediaTornAppend]; got != 4 {
+		t.Errorf("6 certain appends fired %d faults, want 4 (run cap %d)", got, fault.MediaMaxRun)
+	}
+	if got := len(inner["wal"]); got >= 60 {
+		t.Errorf("torn appends lost no bytes: %d", got)
+	}
+	if media.Total() != 4 {
+		t.Errorf("Total() = %d, want 4", media.Total())
+	}
+}
+
+func TestMediaRenameOfDroppedFileSucceeds(t *testing.T) {
+	inner := mapFS{}
+	media := fault.NewMedia(inner, 1, fault.MediaRates{})
+	// A writer whose temp file was silently dropped must still see the
+	// rename succeed — the lie only surfaces at recovery.
+	if err := media.Rename("never-written.tmp", "target"); err != nil {
+		t.Fatalf("rename of dropped file surfaced: %v", err)
+	}
+	if _, ok := inner["target"]; ok {
+		t.Fatal("rename of dropped file materialized a target")
+	}
+}
+
+func TestMediaReadSidePassthrough(t *testing.T) {
+	inner := mapFS{"f": []byte("payload")}
+	media := fault.NewMedia(inner, 7, fault.DefaultMediaRates())
+	for i := 0; i < 50; i++ {
+		got, err := media.ReadFile("f")
+		if err != nil || string(got) != "payload" {
+			t.Fatalf("read %d damaged: %q, %v", i, got, err)
+		}
+		names, err := media.List()
+		if err != nil || len(names) != 1 {
+			t.Fatalf("list %d damaged: %v, %v", i, names, err)
+		}
+	}
+	if media.Total() != 0 {
+		t.Errorf("read-side operations injected %d faults", media.Total())
+	}
+}

@@ -148,6 +148,18 @@ func (p *modPool) put(s []Mod) {
 // CheckpointChain accumulates before compacting into a fresh base.
 const DefaultChainDepth = 4
 
+// ChainStore mirrors a chain's segment mutations to a durable backend
+// (see internal/durable). PutBase receives every event that resets the
+// chain to a single base segment covering WAL position lsn (the first
+// checkpoint, a compaction, SetBase); PutDelta receives every appended
+// delta segment with its FromLSN→LSN link. Calls arrive in mutation
+// order on the broker's serial checkpoint path; a store error aborts
+// the checkpoint that triggered it.
+type ChainStore interface {
+	PutBase(seg []byte, lsn uint64) error
+	PutDelta(seg []byte, fromLSN, lsn uint64) error
+}
+
 // CheckpointChain owns a maintainer's incremental recovery point: one
 // base segment (a v1 full checkpoint) plus the delta segments written
 // since. It is the unit the broker stores per subscription and hands to
@@ -164,7 +176,8 @@ type CheckpointChain struct {
 	// which is exactly the pre-chain full-checkpoint behavior.
 	maxDepth int
 
-	obs *Metrics
+	store ChainStore
+	obs   *Metrics
 }
 
 // NewCheckpointChain returns an empty chain compacting beyond maxDepth
@@ -176,9 +189,39 @@ func NewCheckpointChain(maxDepth int) *CheckpointChain {
 	return &CheckpointChain{maxDepth: maxDepth}
 }
 
+// RestoreChain rebuilds a chain from segments recovered off a durable
+// backend: the base, the delta segments in chain order, and the WAL
+// position the last segment covers through. The caller attests the
+// segments form a valid FromLSN→LSN chain (recovery re-validates them
+// when it folds the chain); maxDepth < 0 selects DefaultChainDepth.
+func RestoreChain(base []byte, deltas [][]byte, tipLSN uint64, maxDepth int) *CheckpointChain {
+	c := NewCheckpointChain(maxDepth)
+	c.base = base
+	c.deltas = deltas
+	c.tipLSN = tipLSN
+	return c
+}
+
 // SetMetrics attaches an instrumentation bundle observing delta writes,
 // compactions, and chain depth; nil detaches.
 func (c *CheckpointChain) SetMetrics(ms *Metrics) { c.obs = ms }
+
+// SetStore attaches a durable mirror receiving every base and delta
+// segment the chain writes from now on; nil detaches. Attach before the
+// first Checkpoint (or right after RestoreChain, whose adopted segments
+// the store already holds) — existing segments are not replayed into it.
+func (c *CheckpointChain) SetStore(st ChainStore) { c.store = st }
+
+// putBase mirrors a chain-resetting base segment to the store, if any.
+func (c *CheckpointChain) putBase(lsn uint64) error {
+	if c.store == nil {
+		return nil
+	}
+	if err := c.store.PutBase(c.base, lsn); err != nil {
+		return fmt.Errorf("ivm: chain store base: %w", err)
+	}
+	return nil
+}
 
 // SetMaxDepth changes the compaction trigger; it takes effect at the
 // next Checkpoint. n < 0 selects DefaultChainDepth.
@@ -202,11 +245,12 @@ func (c *CheckpointChain) HasBase() bool { return c.base != nil }
 // SetBase installs a pre-existing v1 full checkpoint as the chain's
 // base segment, dropping any delta segments. This is how a chain adopts
 // a checkpoint written before incremental checkpointing existed.
-func (c *CheckpointChain) SetBase(base []byte, lsn uint64) {
+func (c *CheckpointChain) SetBase(base []byte, lsn uint64) error {
 	c.base = base
 	c.deltas = nil
 	c.tipLSN = lsn
 	c.observeDepth()
+	return c.putBase(lsn)
 }
 
 // Checkpoint writes the maintainer's next checkpoint segment into the
@@ -231,14 +275,20 @@ func (c *CheckpointChain) Checkpoint(m *Maintainer) error {
 		c.base = buf.Bytes()
 		c.tipLSN = lsn
 		c.observeDepth()
-		return nil
+		return c.putBase(lsn)
 	}
+	fromLSN := c.tipLSN
 	var buf bytes.Buffer
-	if err := m.CheckpointDelta(&buf, c.tipLSN); err != nil {
+	if err := m.CheckpointDelta(&buf, fromLSN); err != nil {
 		return err
 	}
 	c.deltas = append(c.deltas, buf.Bytes())
 	c.tipLSN = lsn
+	if c.store != nil {
+		if err := c.store.PutDelta(buf.Bytes(), fromLSN, lsn); err != nil {
+			return fmt.Errorf("ivm: chain store delta: %w", err)
+		}
+	}
 	if len(c.deltas) > c.maxDepth {
 		return c.Compact()
 	}
@@ -286,7 +336,7 @@ func (c *CheckpointChain) Compact() error {
 	c.deltas = nil
 	c.obs.observeCompaction()
 	c.observeDepth()
-	return nil
+	return c.putBase(c.tipLSN)
 }
 
 func (c *CheckpointChain) observeDepth() {

@@ -55,6 +55,25 @@ type Metrics struct {
 	// observes the WAL suffix length each recovery replayed.
 	Recoveries     *obs.Counter
 	RecoveryReplay *obs.Histogram
+
+	// Disk durability (see internal/durable): WALSyncs counts explicit
+	// file-backed sync points and WALSyncBytes the frame bytes they
+	// flushed — the pair whose ratio is the effective group-commit batch
+	// size. The in-memory WAL never touches them.
+	WALSyncs     *obs.Counter
+	WALSyncBytes *obs.Counter
+
+	// Corruption-hardened recovery: RecoveryCorruptions counts corrupt
+	// or missing on-disk artifacts detected while rebuilding a
+	// maintainer, RecoveryQuarantines the artifacts moved into the
+	// store's quarantine directory, and RecoveryFallbacks the recoveries
+	// that had to degrade to a full refresh from the live tables because
+	// no exact recovery point survived. A fallback is loud by design:
+	// the maintainer keeps serving, but the operator sees the ladder rung
+	// it landed on.
+	RecoveryCorruptions *obs.Counter
+	RecoveryQuarantines *obs.Counter
+	RecoveryFallbacks   *obs.Counter
 }
 
 // NewMetrics registers the maintainer instruments on r and returns the
@@ -83,7 +102,42 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Recoveries:            r.Counter("ivm_recoveries_total"),
 		RecoveryReplay: r.Histogram("ivm_recovery_replayed_records",
 			[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		WALSyncs:            r.Counter("ivm_wal_sync_total"),
+		WALSyncBytes:        r.Counter("ivm_wal_sync_bytes_total"),
+		RecoveryCorruptions: r.Counter("ivm_recovery_corruption_total"),
+		RecoveryQuarantines: r.Counter("ivm_recovery_corruption_quarantined_total"),
+		RecoveryFallbacks:   r.Counter("ivm_recovery_corruption_fallbacks_total"),
 	}
+}
+
+// ObserveWALSync records one file-backed WAL sync flushing n frame
+// bytes. It is exported for the durable layer, which owns the sync point
+// but reports through the maintainer bundle.
+func (ms *Metrics) ObserveWALSync(n int) {
+	if ms == nil {
+		return
+	}
+	ms.WALSyncs.Inc()
+	ms.WALSyncBytes.Add(int64(n))
+}
+
+// ObserveRecoveryCorruption records detected corrupt artifacts and how
+// many of them were quarantined during one disk recovery.
+func (ms *Metrics) ObserveRecoveryCorruption(detected, quarantined int) {
+	if ms == nil {
+		return
+	}
+	ms.RecoveryCorruptions.Add(int64(detected))
+	ms.RecoveryQuarantines.Add(int64(quarantined))
+}
+
+// ObserveRecoveryFallback records one recovery that degraded to a full
+// refresh from the live tables.
+func (ms *Metrics) ObserveRecoveryFallback() {
+	if ms == nil {
+		return
+	}
+	ms.RecoveryFallbacks.Inc()
 }
 
 // observeDrain records one ProcessBatch outcome.

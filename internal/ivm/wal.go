@@ -37,20 +37,64 @@ type WALRecord struct {
 	K     int
 }
 
+// WALSink mirrors the log's mutations to a durable backend (see
+// internal/durable). AppendRecord receives every record in LSN order
+// and TruncateRecords every truncation, both invoked under the WAL's
+// lock, so a sink observes exactly the in-memory mutation sequence. A
+// sink error surfaces to the WAL caller; the in-memory mutation has
+// already happened by then, so callers must treat a sink failure as a
+// durability failure of the whole log, not of one record.
+type WALSink interface {
+	AppendRecord(rec WALRecord) error
+	TruncateRecords(lsn uint64) error
+}
+
 // WAL is an in-memory, append-only redo log with monotonically
 // increasing LSNs starting at 1. It survives a (simulated) maintainer
 // crash because it is owned by the broker, not the maintainer; a
-// persistent deployment would back it with a file, which the explicit
-// LSN/truncation API is shaped for. WAL is safe for concurrent use.
+// persistent deployment backs it with a file through SetSink (see
+// internal/durable), which the explicit LSN/truncation API is shaped
+// for. WAL is safe for concurrent use.
 type WAL struct {
 	mu   sync.Mutex
 	recs []WALRecord
 	next uint64
+	sink WALSink
 	obs  *Metrics
 }
 
 // NewWAL returns an empty log.
 func NewWAL() *WAL { return &WAL{next: 1} }
+
+// RestoreWAL rebuilds a log from records recovered off a durable
+// backend: recs (strictly LSN-ascending; they become the retained
+// suffix) and next, the LSN the rebuilt log assigns first. next must
+// exceed the last record's LSN — a durable recovery that restarted LSN
+// assignment inside the retained suffix would corrupt the write-once
+// record-cell invariant Replay relies on.
+func RestoreWAL(recs []WALRecord, next uint64) (*WAL, error) {
+	if next < 1 {
+		return nil, fmt.Errorf("ivm: restoring wal with next lsn %d < 1", next)
+	}
+	for i, rec := range recs {
+		if i > 0 && rec.LSN <= recs[i-1].LSN {
+			return nil, fmt.Errorf("ivm: restoring wal with non-ascending lsn %d after %d", rec.LSN, recs[i-1].LSN)
+		}
+	}
+	if n := len(recs); n > 0 && recs[n-1].LSN >= next {
+		return nil, fmt.Errorf("ivm: restoring wal with next lsn %d inside retained suffix (last record %d)", next, recs[n-1].LSN)
+	}
+	return &WAL{recs: append([]WALRecord(nil), recs...), next: next}, nil
+}
+
+// SetSink attaches a durable mirror receiving every append and
+// truncation; nil detaches. Attach before the records the sink should
+// see — existing retained records are not replayed into it.
+func (w *WAL) SetSink(sink WALSink) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sink = sink
+}
 
 // SetMetrics attaches an instrumentation bundle recording appends,
 // truncations, and the retained record count; nil detaches.
@@ -61,9 +105,10 @@ func (w *WAL) SetMetrics(ms *Metrics) {
 }
 
 // Append assigns the next LSN to rec and appends it, returning the LSN.
-// With the in-memory log the append itself is the durability point (a
-// file-backed log would fsync here), so the append counter doubles as
-// the sync counter.
+// Without a sink the in-memory append itself is the durability point, so
+// the append counter doubles as the sync counter; with a sink attached
+// the record is also handed to the durable mirror (which buffers it
+// until its explicit sync point — see internal/durable).
 func (w *WAL) Append(rec WALRecord) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -71,6 +116,11 @@ func (w *WAL) Append(rec WALRecord) (uint64, error) {
 	w.next++
 	w.recs = append(w.recs, rec)
 	w.obs.observeWALAppend(len(w.recs))
+	if w.sink != nil {
+		if err := w.sink.AppendRecord(rec); err != nil {
+			return rec.LSN, fmt.Errorf("ivm: wal sink append lsn=%d: %w", rec.LSN, err)
+		}
+	}
 	return rec.LSN, nil
 }
 
@@ -125,8 +175,11 @@ func (w *WAL) Replay(lsn uint64, fn func(WALRecord) error) error {
 // unaffected. Truncation re-slices instead of copying down — O(1), and
 // it preserves the write-once record cells that make Replay's captured
 // suffixes immutable; the abandoned prefix is reclaimed when the backing
-// array next grows (or immediately, when the log empties).
-func (w *WAL) TruncateThrough(lsn uint64) {
+// array next grows (or immediately, when the log empties). With a sink
+// attached the truncation is mirrored to the durable backend (which may
+// retain a longer suffix for its own fallback ladder); a sink error is
+// returned after the in-memory truncation has happened.
+func (w *WAL) TruncateThrough(lsn uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	i := w.suffixFrom(lsn)
@@ -136,6 +189,12 @@ func (w *WAL) TruncateThrough(lsn uint64) {
 		w.recs = w.recs[i:]
 	}
 	w.obs.observeWALTruncate(len(w.recs))
+	if w.sink != nil {
+		if err := w.sink.TruncateRecords(lsn); err != nil {
+			return fmt.Errorf("ivm: wal sink truncate lsn=%d: %w", lsn, err)
+		}
+	}
+	return nil
 }
 
 // Len returns the number of retained records.

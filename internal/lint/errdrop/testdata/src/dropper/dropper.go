@@ -96,3 +96,42 @@ func pollHandled(inj injector) bool {
 	// negative: the injected error is inspected, not dropped.
 	return inj.Hit("crash") != nil
 }
+
+// The durable file-I/O shapes: Sync is the durability point and Close
+// reports the write-back errors buffered writes deferred — dropping
+// either one on the happy path turns a failed write into silent data
+// loss. Only the error path after a failure may discard them, with the
+// suppression spelled out.
+
+type segfile struct{}
+
+func (f *segfile) Write(p []byte) (int, error) { return len(p), nil }
+
+func (f *segfile) Sync() error { return nil }
+
+func (f *segfile) Close() error { return nil }
+
+func syncDropped(f *segfile) {
+	f.Sync() // want "error result of f.Sync is discarded"
+}
+
+func closeDeferred(f *segfile) error {
+	defer f.Close() // want "defer error result of f.Close"
+	_, err := f.Write([]byte("frame"))
+	return err
+}
+
+func writeSynced(f *segfile, p []byte) error {
+	// negative: every step of the write-sync-close sequence is checked.
+	if _, err := f.Write(p); err != nil {
+		//lint:ignore errdrop the write already failed; Close is best-effort cleanup
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		//lint:ignore errdrop the sync already failed; Close is best-effort cleanup
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

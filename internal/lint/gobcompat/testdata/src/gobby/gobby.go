@@ -85,3 +85,46 @@ func encodeSuppressed(w *bytes.Buffer) error {
 	//lint:ignore gobcompat scratch encoding for a size estimate, never persisted
 	return gob.NewEncoder(w).Encode(leaky{})
 }
+
+// The on-disk durability shapes: a checkpoint manifest referencing
+// checksummed segments. All-exported nested DTOs must stay clean —
+// these files outlive the process, so a silently-dropped field is a
+// recovery bug, not a serialization quirk.
+
+// SegmentRef names one segment with its checksum and LSN range.
+type SegmentRef struct {
+	Name    string
+	CRC     uint32
+	FromLSN uint64
+	LSN     uint64
+}
+
+// Manifest records a checkpoint chain: base plus delta segments.
+type Manifest struct {
+	Version int
+	Gen     uint64
+	Base    SegmentRef
+	Deltas  []SegmentRef
+}
+
+// leakyManifest caches a decoded form in an unexported field — the
+// classic way a manifest quietly loses state across a refactor.
+type leakyManifest struct {
+	Version int
+	decoded *Manifest
+}
+
+func encodeManifest(w *bytes.Buffer, m *Manifest) error {
+	// negative: nested all-exported DTOs round-trip.
+	return gob.NewEncoder(w).Encode(m)
+}
+
+func decodeManifest(r *bytes.Buffer) (*Manifest, error) {
+	var m Manifest
+	err := gob.NewDecoder(r).Decode(&m)
+	return &m, err
+}
+
+func encodeLeakyManifest(w *bytes.Buffer) error {
+	return gob.NewEncoder(w).Encode(leakyManifest{}) // want "unexported field leakyManifest.decoded"
+}

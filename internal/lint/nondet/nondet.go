@@ -39,6 +39,7 @@ var Policy = map[string]bool{
 	"internal/astar":   true,
 	"internal/fault":   true,
 	"internal/storage": true,
+	"internal/durable": true,
 }
 
 // Analyzer is the nondet check.

@@ -2,11 +2,13 @@ package pubsub
 
 import (
 	"fmt"
+	"path"
 	"strings"
 	"time"
 
 	"abivm/internal/core"
 	"abivm/internal/costfn"
+	"abivm/internal/durable"
 	"abivm/internal/fault"
 	"abivm/internal/ivm"
 	"abivm/internal/storage"
@@ -46,6 +48,26 @@ type ChaosConfig struct {
 	// CompactEvery is the scheduled chain-compaction cadence (in steps)
 	// of the compacted variant; <= 0 derives it from the seed (3..7).
 	CompactEvery int
+	// Disk adds a disk-backed variant: the faulted run is repeated with
+	// every subscription's WAL and checkpoint segments living in files,
+	// so injected crashes recover through the corruption-hardened disk
+	// path. With intact files the variant must stay byte-identical to
+	// the baseline.
+	Disk bool
+	// DataDir roots the disk variants' files; empty runs them over
+	// per-namespace in-memory file systems (the hermetic default). A
+	// non-empty DataDir implies Disk.
+	DataDir string
+	// DiskFaults additionally repeats the disk run with a seeded
+	// byte-level media injector (torn writes, bit flips, truncations,
+	// dropped files, skipped renames) under the stores. Implies Disk.
+	// The outcome per seed is either byte-identity with the baseline or
+	// a loud full-refresh fallback with corruption counted — silent
+	// divergence fails the comparison.
+	DiskFaults bool
+	// MediaRates is the damage mix of the DiskFaults variant; the zero
+	// value selects fault.DefaultMediaRates().
+	MediaRates fault.MediaRates
 }
 
 // ChaosReport summarizes a faulted-vs-baseline comparison.
@@ -74,6 +96,20 @@ type ChaosReport struct {
 	// Diff holds a diagnostic excerpt of the first divergence, prefixed
 	// with the diverging variant's name.
 	Diff string
+
+	// MediaFaults is the per-kind byte-level damage injected in the
+	// disk-faulted variant, TotalMediaFaults their sum.
+	MediaFaults      map[fault.MediaFault]int
+	TotalMediaFaults int
+	// DiskStats aggregates the disk-faulted variant's durability
+	// counters (syncs, detected corruption, quarantined artifacts,
+	// full-refresh fallbacks).
+	DiskStats durable.Stats
+	// DiskExact reports whether the disk-faulted variant stayed
+	// byte-identical to the baseline despite the injected damage. When
+	// false, the run must have degraded loudly (DiskStats.Fallbacks >
+	// 0); a silent divergence flips Identical instead.
+	DiskExact bool
 }
 
 // chaosEvent is one scripted modification.
@@ -170,55 +206,59 @@ func regionQuery(region string) string {
 
 // chaosRun executes the scripted workload against a fresh broker under
 // the given injector and returns the rendered notification transcript,
-// the rendered final view contents, and the degraded-notification count.
-// The retry jitter is seeded from the same seed as the workload, so the
+// the rendered final view contents, the degraded-notification count,
+// and (for a non-nil opener) the aggregated durability counters. The
+// retry jitter is seeded from the same seed as the workload, so the
 // backoff sequence is part of the reproducible execution, not noise.
-func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery, chainDepth, compactEvery int) (transcript, finals string, degraded int, err error) {
+func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery, chainDepth, compactEvery int, opener durable.Opener) (transcript, finals string, degraded int, stats durable.Stats, err error) {
 	db, err := chaosDB()
 	if err != nil {
-		return "", "", 0, err
+		return "", "", 0, stats, err
 	}
 	b := NewBroker(db)
 	b.setSleep(func(time.Duration) {})
 	b.SetRetrySeed(seed)
 	b.SetCheckpointEvery(cpEvery)
 	b.SetCheckpointChainDepth(chainDepth)
+	if opener != nil {
+		b.SetStoreOpener(opener)
+	}
 	if inj != nil {
 		b.SetInjector(inj)
 	}
 	subs, err := demoSubscriptions()
 	if err != nil {
-		return "", "", 0, err
+		return "", "", 0, stats, err
 	}
 	for _, sc := range subs {
 		if err := b.Subscribe(sc); err != nil {
-			return "", "", 0, err
+			return "", "", 0, stats, err
 		}
 	}
 	var out strings.Builder
 	for t, evs := range script {
 		for _, ev := range evs {
 			if err := b.Publish(ev.table, ev.mod); err != nil {
-				return "", "", 0, fmt.Errorf("step %d: publish %s: %w", t, ev.table, err)
+				return "", "", 0, stats, fmt.Errorf("step %d: publish %s: %w", t, ev.table, err)
 			}
 		}
 		ns, err := b.EndStep()
 		if err != nil {
-			return "", "", 0, fmt.Errorf("step %d: %w", t, err)
+			return "", "", 0, stats, fmt.Errorf("step %d: %w", t, err)
 		}
 		// Scheduled compaction interleaves with the periodic checkpoints
 		// and the injected crashes; recovery from a just-compacted chain
 		// must be indistinguishable from recovery from the chained form.
 		if compactEvery > 0 && (t+1)%compactEvery == 0 {
 			if err := b.CompactCheckpoints(); err != nil {
-				return "", "", 0, fmt.Errorf("step %d: compaction: %w", t, err)
+				return "", "", 0, stats, fmt.Errorf("step %d: compaction: %w", t, err)
 			}
 		}
 		for _, n := range ns {
 			if n.Degraded {
 				degraded++
 			} else if !core.ApproxLE(n.RefreshCost, chaosQoS) {
-				return "", "", 0, fmt.Errorf("step %d: %s: non-degraded refresh cost %.6g > QoS %.6g",
+				return "", "", 0, stats, fmt.Errorf("step %d: %s: non-degraded refresh cost %.6g > QoS %.6g",
 					t, n.Subscription, n.RefreshCost, chaosQoS)
 			}
 			fmt.Fprintf(&out, "step=%d sub=%s degraded=%v behind=%d over=%.9g cost=%.9g rows=%s\n",
@@ -230,11 +270,11 @@ func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery, ch
 	for _, sc := range subs {
 		rows, err := b.Result(sc.Name)
 		if err != nil {
-			return "", "", 0, err
+			return "", "", 0, stats, err
 		}
 		fmt.Fprintf(&fin, "%s: %s\n", sc.Name, renderRows(rows))
 	}
-	return out.String(), fin.String(), degraded, nil
+	return out.String(), fin.String(), degraded, b.DurabilityStats(), nil
 }
 
 // chaosSampleEvery is the cadence (in steps) of the mid-run cost/health
@@ -248,10 +288,10 @@ const chaosSampleEvery = 10
 // cost and pending vector into the transcript — reading them without the
 // quiesce would race the shard workers mid-drain and make the sample
 // depend on scheduling, exactly the bug the quiesce exists to prevent.
-func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec WorkloadSpec, factory func(int) fault.Injector, cpEvery, chainDepth, compactEvery int) (transcript, finals string, degraded int, err error) {
+func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec WorkloadSpec, factory func(int) fault.Injector, cpEvery, chainDepth, compactEvery int, opener durable.Opener) (transcript, finals string, degraded int, stats durable.Stats, err error) {
 	db, err := chaosDBSpec(spec)
 	if err != nil {
-		return "", "", 0, err
+		return "", "", 0, stats, err
 	}
 	sb := NewShardedBroker(db, ShardOptions{Shards: shards})
 	defer sb.Close()
@@ -259,37 +299,40 @@ func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec Workloa
 	sb.SetRetrySeed(seed)
 	sb.SetCheckpointEvery(cpEvery)
 	sb.SetCheckpointChainDepth(chainDepth)
+	if opener != nil {
+		sb.SetStoreOpener(opener)
+	}
 	if factory != nil {
 		sb.SetInjectors(factory)
 	}
 	subs, err := demoSubscriptionsSpec(spec)
 	if err != nil {
-		return "", "", 0, err
+		return "", "", 0, stats, err
 	}
 	for _, sc := range subs {
 		if err := sb.Subscribe(sc); err != nil {
-			return "", "", 0, err
+			return "", "", 0, stats, err
 		}
 	}
 	var out strings.Builder
 	for t, evs := range script {
 		for _, ev := range evs {
 			if err := sb.Publish(ev.table, ev.mod); err != nil {
-				return "", "", 0, fmt.Errorf("step %d: publish %s: %w", t, ev.table, err)
+				return "", "", 0, stats, fmt.Errorf("step %d: publish %s: %w", t, ev.table, err)
 			}
 		}
 		if (t+1)%chaosSampleEvery == 0 {
 			if err := sb.Quiesce(); err != nil {
-				return "", "", 0, fmt.Errorf("step %d: quiesce: %w", t, err)
+				return "", "", 0, stats, fmt.Errorf("step %d: quiesce: %w", t, err)
 			}
 			for _, sc := range subs {
 				cost, err := sb.TotalCost(sc.Name)
 				if err != nil {
-					return "", "", 0, err
+					return "", "", 0, stats, err
 				}
 				h, err := sb.Health(sc.Name)
 				if err != nil {
-					return "", "", 0, err
+					return "", "", 0, stats, err
 				}
 				fmt.Fprintf(&out, "sample step=%d sub=%s cost=%.9g pending=%v\n",
 					t, sc.Name, cost, h.Pending)
@@ -297,20 +340,20 @@ func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec Workloa
 		}
 		ns, err := sb.EndStep()
 		if err != nil {
-			return "", "", 0, fmt.Errorf("step %d: %w", t, err)
+			return "", "", 0, stats, fmt.Errorf("step %d: %w", t, err)
 		}
 		// Scheduled compaction between barriers: each shard's broker takes
 		// its own lock, so the workers are idle with respect to chains.
 		if compactEvery > 0 && (t+1)%compactEvery == 0 {
 			if err := sb.CompactCheckpoints(); err != nil {
-				return "", "", 0, fmt.Errorf("step %d: compaction: %w", t, err)
+				return "", "", 0, stats, fmt.Errorf("step %d: compaction: %w", t, err)
 			}
 		}
 		for _, n := range ns {
 			if n.Degraded {
 				degraded++
 			} else if !core.ApproxLE(n.RefreshCost, chaosQoS) {
-				return "", "", 0, fmt.Errorf("step %d: %s: non-degraded refresh cost %.6g > QoS %.6g",
+				return "", "", 0, stats, fmt.Errorf("step %d: %s: non-degraded refresh cost %.6g > QoS %.6g",
 					t, n.Subscription, n.RefreshCost, chaosQoS)
 			}
 			fmt.Fprintf(&out, "step=%d sub=%s degraded=%v behind=%d over=%.9g cost=%.9g rows=%s\n",
@@ -322,11 +365,11 @@ func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec Workloa
 	for _, sc := range subs {
 		rows, err := sb.Result(sc.Name)
 		if err != nil {
-			return "", "", 0, err
+			return "", "", 0, stats, err
 		}
 		fmt.Fprintf(&fin, "%s: %s\n", sc.Name, renderRows(rows))
 	}
-	return out.String(), fin.String(), degraded, nil
+	return out.String(), fin.String(), degraded, sb.DurabilityStats(), nil
 }
 
 // renderRows renders rows canonically for byte comparison.
@@ -372,6 +415,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	if cfg.Rates == (fault.Rates{}) {
 		cfg.Rates = fault.DefaultRates()
 	}
+	if cfg.DataDir != "" || cfg.DiskFaults {
+		cfg.Disk = true
+	}
+	if cfg.MediaRates == (fault.MediaRates{}) {
+		cfg.MediaRates = fault.DefaultMediaRates()
+	}
 	if cfg.Shards > 0 {
 		return runChaosSharded(cfg)
 	}
@@ -382,7 +431,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	// fault-free run's observable output must not depend on checkpoint
 	// layout at all, so comparing it against every variant also proves
 	// compaction alone perturbs nothing.
-	baseT, baseF, _, err := chaosRun(script, cfg.Seed, nil, cfg.CheckpointEvery, depth, compactEvery)
+	baseT, baseF, _, _, err := chaosRun(script, cfg.Seed, nil, cfg.CheckpointEvery, depth, compactEvery, nil)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d: baseline run: %w", cfg.Seed, err)
 	}
@@ -390,10 +439,20 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	variants := []struct {
 		name                string
 		depth, compactEvery int
+		opener              durable.Opener
 	}{
-		{"full", 0, 0},
-		{fmt.Sprintf("incremental(depth=%d)", depth), depth, 0},
-		{fmt.Sprintf("compacted(depth=%d,every=%d)", depth, compactEvery), depth, compactEvery},
+		{"full", 0, 0, nil},
+		{fmt.Sprintf("incremental(depth=%d)", depth), depth, 0, nil},
+		{fmt.Sprintf("compacted(depth=%d,every=%d)", depth, compactEvery), depth, compactEvery, nil},
+	}
+	if cfg.Disk {
+		// The clean-disk variant must be byte-identical like the in-memory
+		// ones: with intact files, disk recovery is an exact redo.
+		variants = append(variants, struct {
+			name                string
+			depth, compactEvery int
+			opener              durable.Opener
+		}{fmt.Sprintf("disk(depth=%d)", depth), depth, compactEvery, cfg.diskOpener("disk", nil)})
 	}
 	rep := &ChaosReport{
 		Seed:          cfg.Seed,
@@ -404,7 +463,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	for _, v := range variants {
 		rep.Variants = append(rep.Variants, v.name)
 		inj := fault.NewSeeded(cfg.Seed, cfg.Rates)
-		faultT, faultF, degraded, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery, v.depth, v.compactEvery)
+		faultT, faultF, degraded, _, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery, v.depth, v.compactEvery, v.opener)
 		if err != nil {
 			return nil, fmt.Errorf("chaos seed %d: %s run: %w", cfg.Seed, v.name, err)
 		}
@@ -422,7 +481,71 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			}
 		}
 	}
+	if cfg.DiskFaults {
+		name := fmt.Sprintf("disk-faulted(depth=%d)", depth)
+		rep.Variants = append(rep.Variants, name)
+		var medias []*fault.Media
+		opener := trackedOpener(cfg.diskOpener("disk-faulted", &cfg.MediaRates), &medias)
+		inj := fault.NewSeeded(cfg.Seed, cfg.Rates)
+		faultT, faultF, _, stats, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery, depth, compactEvery, opener)
+		if err != nil {
+			return nil, fmt.Errorf("chaos seed %d: %s run: %w", cfg.Seed, name, err)
+		}
+		rep.DiskStats = stats
+		rep.MediaFaults = map[fault.MediaFault]int{}
+		for _, m := range medias {
+			for kind, n := range m.Fired() {
+				rep.MediaFaults[kind] += n
+			}
+			rep.TotalMediaFaults += m.Total()
+		}
+		rep.DiskExact = faultT == baseT && faultF == baseF
+		// Divergence is acceptable only when the run degraded loudly: at
+		// least one recovery gave up on the damaged artifacts and rebuilt
+		// from the live tables, counting the corruption as it went. A
+		// divergence with zero fallbacks is silent data loss.
+		if !rep.DiskExact && stats.Fallbacks == 0 {
+			rep.Identical = false
+			if rep.Diff == "" {
+				rep.Diff = name + " variant diverged without a fallback: " + firstDiff(baseT+baseF, faultT+faultF)
+			}
+		}
+	}
 	return rep, nil
+}
+
+// diskOpener builds the durable-store opener of one disk variant:
+// directory-backed under DataDir/seed-<n>/<variant> when DataDir is
+// set, per-namespace in-memory file systems otherwise; a non-nil rates
+// inserts the seeded byte-level media injector underneath each store.
+func (cfg ChaosConfig) diskOpener(variant string, rates *fault.MediaRates) durable.Opener {
+	if cfg.DataDir == "" {
+		if rates == nil {
+			return durable.MemOpener()
+		}
+		return durable.FaultyMemOpener(cfg.Seed, *rates)
+	}
+	root := path.Join(cfg.DataDir, fmt.Sprintf("seed-%d", cfg.Seed), variant)
+	if rates == nil {
+		return durable.DirOpener(root)
+	}
+	return durable.FaultyDirOpener(root, cfg.Seed, *rates)
+}
+
+// trackedOpener records the media injector of every store open opens,
+// so a harness can aggregate the injected damage after the run. Opens
+// happen sequentially at Subscribe time, before any concurrent work, so
+// the append is unsynchronized on purpose.
+func trackedOpener(open durable.Opener, medias *[]*fault.Media) durable.Opener {
+	return func(ns string) (*durable.Store, error) {
+		st, err := open(ns)
+		if err == nil {
+			if m := st.Media(); m != nil {
+				*medias = append(*medias, m)
+			}
+		}
+		return st, err
+	}
 }
 
 // runChaosSharded is the sharded-mode comparison: baseline and faulted
@@ -435,7 +558,7 @@ func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 	script := chaosScript(cfg.Seed, cfg.Steps, spec)
 	depth, compactEvery := chaosChainParams(cfg)
 
-	baseT, baseF, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, nil, cfg.CheckpointEvery, depth, compactEvery)
+	baseT, baseF, _, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, nil, cfg.CheckpointEvery, depth, compactEvery, nil)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d shards %d: baseline run: %w", cfg.Seed, cfg.Shards, err)
 	}
@@ -450,7 +573,7 @@ func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 		injs = append(injs, inj)
 		return inj
 	}
-	faultT, faultF, degraded, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, factory, cfg.CheckpointEvery, depth, compactEvery)
+	faultT, faultF, degraded, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, factory, cfg.CheckpointEvery, depth, compactEvery, nil)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d shards %d: faulted run: %w", cfg.Seed, cfg.Shards, err)
 	}
@@ -477,6 +600,49 @@ func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 	}
 	if !rep.Identical {
 		rep.Diff = firstDiff(baseT+baseF, faultT+faultF)
+	}
+	if cfg.Disk {
+		// Clean-disk sharded variant: per-store media-free files, the
+		// same per-shard fault schedule, byte-identity required. Each
+		// store's damage and recovery is keyed to its own namespace, so
+		// shard scheduling cannot perturb the outcome.
+		name := fmt.Sprintf("sharded-disk(depth=%d)", depth)
+		rep.Variants = append(rep.Variants, name)
+		dT, dF, _, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, SeededShardInjectors(cfg.Seed, cfg.Rates), cfg.CheckpointEvery, depth, compactEvery, cfg.diskOpener("disk", nil))
+		if err != nil {
+			return nil, fmt.Errorf("chaos seed %d shards %d: %s run: %w", cfg.Seed, cfg.Shards, name, err)
+		}
+		if baseT != dT || baseF != dF {
+			rep.Identical = false
+			if rep.Diff == "" {
+				rep.Diff = name + " variant: " + firstDiff(baseT+baseF, dT+dF)
+			}
+		}
+	}
+	if cfg.DiskFaults {
+		name := fmt.Sprintf("sharded-disk-faulted(depth=%d)", depth)
+		rep.Variants = append(rep.Variants, name)
+		var medias []*fault.Media
+		opener := trackedOpener(cfg.diskOpener("disk-faulted", &cfg.MediaRates), &medias)
+		fT, fF, _, stats, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, SeededShardInjectors(cfg.Seed, cfg.Rates), cfg.CheckpointEvery, depth, compactEvery, opener)
+		if err != nil {
+			return nil, fmt.Errorf("chaos seed %d shards %d: %s run: %w", cfg.Seed, cfg.Shards, name, err)
+		}
+		rep.DiskStats = stats
+		rep.MediaFaults = map[fault.MediaFault]int{}
+		for _, m := range medias {
+			for kind, n := range m.Fired() {
+				rep.MediaFaults[kind] += n
+			}
+			rep.TotalMediaFaults += m.Total()
+		}
+		rep.DiskExact = fT == baseT && fF == baseF
+		if !rep.DiskExact && stats.Fallbacks == 0 {
+			rep.Identical = false
+			if rep.Diff == "" {
+				rep.Diff = name + " variant diverged without a fallback: " + firstDiff(baseT+baseF, fT+fF)
+			}
+		}
 	}
 	return rep, nil
 }

@@ -108,6 +108,9 @@ func (b *Broker) SetObs(reg *obs.Registry, tr *obs.Tracer) {
 			s.m.SetMetrics(nil)
 			s.wal.SetMetrics(nil)
 			s.chain.SetMetrics(nil)
+			if s.store != nil {
+				s.store.SetMetrics(nil)
+			}
 		}
 		if seeded, ok := b.inj.(*fault.Seeded); ok {
 			seeded.SetObserver(nil)
@@ -131,6 +134,9 @@ func (b *Broker) wireSub(s *sub) {
 	s.m.SetMetrics(b.obs.ivm)
 	s.wal.SetMetrics(b.obs.ivm)
 	s.chain.SetMetrics(b.obs.ivm)
+	if s.store != nil {
+		s.store.SetMetrics(b.obs.ivm)
+	}
 }
 
 // observeInjector hooks the fault counter into a seeded injector. Caller

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"abivm/internal/core"
+	"abivm/internal/durable"
 	"abivm/internal/fault"
 	"abivm/internal/ivm"
 	"abivm/internal/policy"
@@ -97,10 +98,18 @@ type sub struct {
 	lastFresh int
 	degraded  bool
 
+	// store is the subscription's disk-backed durability store: the WAL
+	// sink and checkpoint segment store behind wal and chain. nil unless
+	// the broker has a store opener installed, in which case recovery goes
+	// through the corruption-hardened disk path instead of the in-memory
+	// chain replay.
+	store *durable.Store
+
 	// pendBuf is the scratch slice behind Broker.pending: reused across
 	// steps so polling the state vector allocates nothing. Only the
 	// exclusive-lock step path may touch it; shared-lock readers
-	// (backlogCost, Health) must allocate their own copies.
+	// (backlogCost, HealthInto) use the broker's pendPool or caller
+	// scratch instead.
 	pendBuf []int
 
 	// obs holds the subscription's labeled metric series; nil until the
@@ -127,6 +136,15 @@ type Broker struct {
 	chainDepth int
 	sleep      func(time.Duration)
 	obs        *brokerObs
+
+	// opener, when set, gives every later subscription a disk-backed
+	// durability store keyed by its namespace.
+	opener durable.Opener
+
+	// pendPool recycles the scratch vectors behind the shared-lock read
+	// paths (backlogCost, HealthInto); pooling instead of a single broker
+	// field because concurrent readers each need their own scratch.
+	pendPool sync.Pool
 
 	// Sharded-runtime identity, set by ShardedBroker before any
 	// subscription exists: ns prefixes the durability namespace of every
@@ -227,6 +245,33 @@ func (b *Broker) CompactCheckpoints() error {
 	return nil
 }
 
+// SetStoreOpener installs a durable-store opener: every subscription
+// registered afterwards gets a disk-backed WAL and checkpoint segment
+// store under its durability namespace, and simulated crashes recover
+// through the corruption-hardened disk path (durable.Store.Recover)
+// instead of the in-memory chain. Existing subscriptions are unaffected
+// — install the opener before subscribing. Pass nil to return to
+// in-memory durability for future subscriptions.
+func (b *Broker) SetStoreOpener(open durable.Opener) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.opener = open
+}
+
+// DurabilityStats sums the durable-store counters across subscriptions;
+// the zero value when no subscription has a disk-backed store.
+func (b *Broker) DurabilityStats() durable.Stats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var total durable.Stats
+	for _, s := range b.subs {
+		if s.store != nil {
+			total.Add(s.store.Stats())
+		}
+	}
+	return total
+}
+
 // setSleep replaces the backoff sleeper (tests use a no-op).
 func (b *Broker) setSleep(f func(time.Duration)) {
 	b.mu.Lock()
@@ -287,6 +332,19 @@ func (b *Broker) Subscribe(cfg Subscription) error {
 	}
 	m.SetNamespace(ns)
 	s.chain = ivm.NewCheckpointChain(b.chainDepth)
+	// Disk-backed durability attaches before the initial checkpoint: the
+	// store becomes the WAL's sink and the chain's segment store, so the
+	// subscription's very first base segment already lands on disk and a
+	// crash before the first step recovers from files.
+	if b.opener != nil {
+		store, err := b.opener(ns)
+		if err != nil {
+			return fmt.Errorf("pubsub: subscription %q: opening durable store: %w", cfg.Name, err)
+		}
+		s.store = store
+		s.wal.SetSink(store)
+		s.chain.SetStore(store)
+	}
 	if err := s.chain.Checkpoint(m); err != nil {
 		return fmt.Errorf("pubsub: subscription %q: initial checkpoint: %w", cfg.Name, err)
 	}
@@ -394,14 +452,22 @@ func (b *Broker) watchesTable(table string) bool {
 
 // backlogCost returns the summed model cost of fully refreshing every
 // subscription — the shard-level Σ_i f(s_i) that the sharded broker's
-// admission control compares against its headroom bound.
+// admission control compares against its headroom bound. It runs on the
+// shared lock once per barrier per shard, so the pending vector goes
+// through pooled scratch instead of a fresh allocation.
 func (b *Broker) backlogCost() float64 {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
+	buf, _ := b.pendPool.Get().(*[]int)
+	if buf == nil {
+		buf = new([]int)
+	}
 	total := 0.0
 	for _, s := range b.subs {
-		total += s.cfg.Model.Total(core.Vector(s.m.Pending()))
+		*buf = s.m.PendingInto(*buf)
+		total += s.cfg.Model.Total(core.Vector(*buf))
 	}
+	b.pendPool.Put(buf)
 	return total
 }
 
@@ -472,6 +538,20 @@ func (b *Broker) EndStep() ([]Notification, error) {
 	defer b.mu.Unlock()
 	root, stepStart := b.obs.startStep(b.step)
 	defer root.End()
+	// Durability barrier: flush every disk-backed WAL before any crash
+	// site is polled this step, so at every simulated crash point the
+	// on-disk log matches the in-memory log and a fault-free disk
+	// recovery is byte-identical to the in-memory one. (Appends made
+	// later in this step are covered by the next step's barrier, and a
+	// crash is only ever simulated at the top of a subscription's turn.)
+	for _, s := range b.subs {
+		if s.store == nil {
+			continue
+		}
+		if err := s.store.Sync(); err != nil {
+			return nil, fmt.Errorf("pubsub: %s: wal sync: %w", s.cfg.Name, err)
+		}
+	}
 	var out []Notification
 	for _, s := range b.subs {
 		sp := root.Child("sub")
@@ -586,6 +666,29 @@ func (b *Broker) maybeCrash(s *sub) error {
 	if b.obs != nil {
 		ms = b.obs.ivm
 	}
+	if s.store != nil {
+		// Disk path: the in-memory WAL and chain die with the process;
+		// everything is rebuilt from the store's files through the
+		// corruption-hardened ladder. A fallback recovery means the
+		// artifacts were too damaged for exact replay — the rebuilt view
+		// reflects the live tables directly, so the un-drained backlog and
+		// the staleness clock restart here.
+		rec, err := s.store.Recover(b.db, s.cfg.Query, b.chainDepth, ms)
+		if err != nil {
+			return fmt.Errorf("pubsub: %s: disk recovery failed: %w", s.cfg.Name, err)
+		}
+		rec.M.SetInjector(b.inj)
+		s.m, s.wal, s.chain = rec.M, rec.WAL, rec.Chain
+		if rec.Fallback {
+			for i := range s.stepMods {
+				s.stepMods[i] = 0
+			}
+			s.lastFresh = b.step
+			s.degraded = false
+		}
+		b.obs.observeCrashRecovery()
+		return nil
+	}
 	// Recovery validates the checkpoint's durability namespace: a shard
 	// can only restore its own subscription's recovery point.
 	m, err := ivm.RecoverChainNamespaced(b.db, s.cfg.Query, s.m.Namespace(), s.chain, s.wal, ms)
@@ -620,7 +723,9 @@ func (b *Broker) checkpointDue() error {
 		if err := s.chain.Checkpoint(s.m); err != nil {
 			return fmt.Errorf("pubsub: %s: checkpoint: %w", s.cfg.Name, err)
 		}
-		s.wal.TruncateThrough(s.chain.TipLSN())
+		if err := s.wal.TruncateThrough(s.chain.TipLSN()); err != nil {
+			return fmt.Errorf("pubsub: %s: wal truncation: %w", s.cfg.Name, err)
+		}
 	}
 	return nil
 }
@@ -700,17 +805,31 @@ type Health struct {
 // Health reports a subscription's fault-tolerance status. It is safe to
 // call concurrently with the workload loop (e.g. from the ops endpoint).
 func (b *Broker) Health(name string) (Health, error) {
+	var h Health
+	err := b.HealthInto(name, &h)
+	if err != nil {
+		return Health{}, err
+	}
+	return h, nil
+}
+
+// HealthInto fills h with a subscription's fault-tolerance status,
+// reusing h.Pending as scratch — the allocation-free variant of Health
+// for pollers (the ops endpoint, the chaos harness) that scrape every
+// step. The shared-lock section itself never allocates; only growing an
+// undersized h.Pending does, so a reused h reaches steady state after
+// one call.
+func (b *Broker) HealthInto(name string, h *Health) error {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	for _, s := range b.subs {
 		if s.cfg.Name == name {
-			return Health{
-				Degraded:    s.degraded,
-				StepsBehind: b.step - s.lastFresh,
-				Pending:     s.m.Pending(),
-				WALRecords:  s.wal.Len(),
-			}, nil
+			h.Degraded = s.degraded
+			h.StepsBehind = b.step - s.lastFresh
+			h.Pending = s.m.PendingInto(h.Pending)
+			h.WALRecords = s.wal.Len()
+			return nil
 		}
 	}
-	return Health{}, fmt.Errorf("pubsub: no subscription %q", name)
+	return fmt.Errorf("pubsub: no subscription %q", name)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"abivm/internal/core"
+	"abivm/internal/durable"
 	"abivm/internal/fault"
 	"abivm/internal/ivm"
 	"abivm/internal/storage"
@@ -609,6 +610,18 @@ func (sb *ShardedBroker) Health(name string) (Health, error) {
 	return sh.b.Health(name)
 }
 
+// HealthInto is the allocation-free Health variant, delegated to the
+// owning shard (see Broker.HealthInto).
+func (sb *ShardedBroker) HealthInto(name string, h *Health) error {
+	sb.mu.Lock()
+	sh, err := sb.shardOf(name)
+	sb.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return sh.b.HealthInto(name, h)
+}
+
 // Result returns the (possibly stale) current content of a subscription.
 func (sb *ShardedBroker) Result(name string) ([]storage.Row, error) {
 	sb.mu.Lock()
@@ -685,6 +698,31 @@ func (sb *ShardedBroker) SetInjectors(factory func(shard int) fault.Injector) {
 			sh.b.SetInjector(factory(sh.id))
 		}
 	}
+}
+
+// SetStoreOpener installs a durable-store opener on every shard. Each
+// shard prefixes its subscriptions' durability namespaces with
+// "shard<i>/", so one opener rooted at a single directory gives every
+// subscription its own subtree. Install before subscribing, like the
+// serial broker's SetStoreOpener.
+func (sb *ShardedBroker) SetStoreOpener(open durable.Opener) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for _, sh := range sb.shards {
+		sh.b.SetStoreOpener(open)
+	}
+}
+
+// DurabilityStats sums the durable-store counters across every shard's
+// subscriptions.
+func (sb *ShardedBroker) DurabilityStats() durable.Stats {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	var total durable.Stats
+	for _, sh := range sb.shards {
+		total.Add(sh.b.DurabilityStats())
+	}
+	return total
 }
 
 // SetRetrySeed seeds each shard's backoff-jitter source with seed+shard,

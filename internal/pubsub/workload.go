@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"abivm/internal/durable"
 	"abivm/internal/fault"
 	"abivm/internal/ivm"
 	"abivm/internal/storage"
@@ -159,12 +160,23 @@ func NewDemoWorkload(seed int64, inj fault.Injector) (*DemoWorkload, error) {
 // serial broker. The durability benchmarks use it to size the replica
 // state a checkpoint has to cover.
 func NewDemoWorkloadSpec(seed int64, spec WorkloadSpec, inj fault.Injector) (*DemoWorkload, error) {
+	return NewDemoWorkloadDurable(seed, spec, inj, nil)
+}
+
+// NewDemoWorkloadDurable is NewDemoWorkloadSpec with disk-backed
+// durability: a non-nil opener gives every subscription a durable store
+// (installed before the subscriptions exist, so their initial
+// checkpoints land on disk).
+func NewDemoWorkloadDurable(seed int64, spec WorkloadSpec, inj fault.Injector, opener durable.Opener) (*DemoWorkload, error) {
 	db, err := chaosDBSpec(spec)
 	if err != nil {
 		return nil, err
 	}
 	b := NewBroker(db)
 	b.SetRetrySeed(seed)
+	if opener != nil {
+		b.SetStoreOpener(opener)
+	}
 	if inj != nil {
 		b.SetInjector(inj)
 	}
@@ -208,12 +220,22 @@ type ShardedDemoWorkload struct {
 // from seed, and — when factory is non-nil — one independent fault
 // injector per shard.
 func NewShardedDemoWorkload(seed int64, shards int, spec WorkloadSpec, factory func(shard int) fault.Injector) (*ShardedDemoWorkload, error) {
+	return NewShardedDemoWorkloadDurable(seed, shards, spec, factory, nil)
+}
+
+// NewShardedDemoWorkloadDurable is NewShardedDemoWorkload with
+// disk-backed durability; each shard prefixes its subscriptions'
+// store namespaces with "shard<i>/".
+func NewShardedDemoWorkloadDurable(seed int64, shards int, spec WorkloadSpec, factory func(shard int) fault.Injector, opener durable.Opener) (*ShardedDemoWorkload, error) {
 	db, err := chaosDBSpec(spec)
 	if err != nil {
 		return nil, err
 	}
 	sb := NewShardedBroker(db, ShardOptions{Shards: shards})
 	sb.SetRetrySeed(seed)
+	if opener != nil {
+		sb.SetStoreOpener(opener)
+	}
 	if factory != nil {
 		sb.SetInjectors(factory)
 	}

@@ -43,5 +43,5 @@ if [ -z "$file" ]; then
 	file=$(ls BENCH_*.json | sort | tail -n 1)
 fi
 
-go test -run '^$' -bench 'BenchmarkCheckpointHeavy|BenchmarkDrainHotPath' -benchmem -benchtime=300x . |
+go test -run '^$' -bench 'BenchmarkCheckpointHeavy|BenchmarkDrainHotPath|BenchmarkWALFileAppend|BenchmarkDiskRecovery' -benchmem -benchtime=300x . |
 	go run ./cmd/benchgate -file "$file" -base "$base" -max-regress "$max"
