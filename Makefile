@@ -3,7 +3,7 @@ GO ?= go
 # retry loop, stuck worker pool) fails the run instead of wedging it.
 TEST_TIMEOUT ?= 10m
 
-.PHONY: build test race lint lint-json lint-self vet verify chaos bench bench-quick bench-gate serve-smoke
+.PHONY: build test race lint lint-json lint-self vet verify chaos bench bench-quick bench-gate serve-smoke compile-smoke
 
 build:
 	$(GO) build ./...
@@ -61,3 +61,9 @@ bench-gate:
 # with the required metric series.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# compile-smoke runs the SQL→IVM compiler end-to-end over the example
+# catalog, then serves the compiled views for a short run.
+compile-smoke:
+	$(GO) run ./cmd/abivm compile -catalog examples/views.sql
+	$(GO) run ./cmd/abivm serve -catalog examples/views.sql -addr 127.0.0.1:0 -steps 100 -interval 1ms

@@ -35,7 +35,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "       abivm explain [query]\n")
 		fmt.Fprintf(os.Stderr, "       abivm sim [-costs a:b,..] [-rates r,..] [-C x] [-T n]\n")
 		fmt.Fprintf(os.Stderr, "       abivm chaos [-seed n] [-runs k] [-steps t]\n")
-		fmt.Fprintf(os.Stderr, "       abivm serve [-addr host:port] [-seed n] [-interval d] [-faults] [-pprof]\n")
+		fmt.Fprintf(os.Stderr, "       abivm serve [-addr host:port] [-seed n] [-interval d] [-faults] [-pprof] [-catalog views.sql]\n")
+		fmt.Fprintf(os.Stderr, "       abivm compile [-catalog views.sql] [-fit linear|piecewise] [-seed n] [-json] [query]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,6 +66,11 @@ func main() {
 		return
 	case "serve":
 		if err := runServe(ctx, flag.Args()[1:]); err != nil {
+			fail(err)
+		}
+		return
+	case "compile":
+		if err := runCompile(flag.Args()[1:]); err != nil {
 			fail(err)
 		}
 		return

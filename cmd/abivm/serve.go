@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"abivm/internal/durable"
 	"abivm/internal/fault"
 	"abivm/internal/obs"
 	"abivm/internal/pubsub"
+	"abivm/internal/viewc"
 )
 
 // runServe implements `abivm serve`: it drives the demo pub/sub workload
@@ -28,6 +30,7 @@ import (
 //	abivm serve -addr 127.0.0.1:8080 -seed 1 -interval 50ms -faults
 //	abivm serve -shards 4 -faults
 //	abivm serve -data-dir /var/lib/abivm -faults
+//	abivm serve -catalog examples/views.sql
 func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -39,8 +42,12 @@ func runServe(ctx context.Context, args []string) error {
 	tracebuf := fs.Int("tracebuf", obs.DefaultTraceCapacity, "span ring-buffer capacity")
 	shards := fs.Int("shards", 0, "run the sharded broker runtime with this many shards over a 2*shards-region workload (0 = serial broker)")
 	dataDir := fs.String("data-dir", "", "persist each subscription's WAL and checkpoints under this directory (empty = in-memory durability)")
+	catalog := fs.String("catalog", "", "serve this views.sql catalog: compile every view and subscribe it instead of the built-in east/west pair (serial broker only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *catalog != "" && *shards > 0 {
+		return fmt.Errorf("serve: -catalog currently runs on the serial broker; drop -shards")
 	}
 	var opener durable.Opener
 	if *dataDir != "" {
@@ -71,7 +78,13 @@ func runServe(ctx context.Context, args []string) error {
 		if *faults {
 			inj = fault.NewSeeded(*seed, fault.DefaultRates())
 		}
-		w, err := pubsub.NewDemoWorkloadDurable(*seed, pubsub.DefaultWorkloadSpec(), inj, opener)
+		var w *pubsub.DemoWorkload
+		var err error
+		if *catalog != "" {
+			w, err = catalogWorkload(*catalog, *seed, inj, opener)
+		} else {
+			w, err = pubsub.NewDemoWorkloadDurable(*seed, pubsub.DefaultWorkloadSpec(), inj, opener)
+		}
 		if err != nil {
 			return fmt.Errorf("serve: %w", err)
 		}
@@ -125,6 +138,38 @@ loop:
 		stepErr = fmt.Errorf("serve: http server: %w", err)
 	}
 	return stepErr
+}
+
+// catalogWorkload builds the demo workload with subscriptions compiled
+// from a views.sql catalog instead of the built-in east/west pair: the
+// catalog is compiled against the demo database (delta plans, sandboxed
+// cost calibration, QoS from each statement's QOS clause) and every
+// compiled view is registered through SubscribeCompiled. The event
+// stream is the same seeded stations/sales stream the built-in demo
+// uses, so any catalog view over those tables sees live deltas.
+func catalogWorkload(path string, seed int64, inj fault.Injector, opener durable.Opener) (*pubsub.DemoWorkload, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	spec := pubsub.DefaultWorkloadSpec()
+	db, err := pubsub.DemoDB(spec)
+	if err != nil {
+		return nil, err
+	}
+	views, err := viewc.CompileCatalog(db, string(src), viewc.Options{Seed: seed, Condition: pubsub.Every(5)})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("abivm serve: compiled %d views from %s\n", len(views), path)
+	return pubsub.NewDemoWorkloadOn(db, seed, spec, inj, opener, func(b *pubsub.Broker) error {
+		for _, cv := range views {
+			if err := b.SubscribeCompiled(cv); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // healthSource is the health surface the serial and sharded brokers

@@ -1,0 +1,29 @@
+-- Example views.sql catalog over the demo stations/sales schema:
+--   stations(stationkey INT PRIMARY KEY, region STRING)
+--   sales(salekey INT PRIMARY KEY, station INT, amount FLOAT)
+--
+-- Compile it:      abivm compile -catalog examples/views.sql
+-- Serve it live:   abivm serve -catalog examples/views.sql
+--
+-- Each statement names a subscription, sets its response-time
+-- constraint C (the QOS bound the broker's policy maintains), and
+-- defines its content query.
+
+-- Filter-only view: every large sale, kept fresh incrementally.
+CREATE MATERIALIZED VIEW big_sales QOS 25 AS
+SELECT s.salekey, s.amount
+FROM sales AS s
+WHERE s.amount > 10;
+
+-- Two-table join: sales that happened at an EAST station.
+CREATE MATERIALIZED VIEW east_sales QOS 30 AS
+SELECT s.salekey, st.region
+FROM sales AS s, stations AS st
+WHERE s.station = st.stationkey AND st.region = 'EAST';
+
+-- Join + group-by: revenue and volume per region.
+CREATE MATERIALIZED VIEW region_totals QOS 40 AS
+SELECT st.region, SUM(s.amount), COUNT(*)
+FROM sales AS s, stations AS st
+WHERE s.station = st.stationkey
+GROUP BY st.region;

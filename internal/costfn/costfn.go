@@ -216,6 +216,16 @@ func (f *PiecewiseLinear) segSlope(i int) float64 {
 	return (f.cs[i+1] - f.cs[i]) / float64(f.ks[i+1]-f.ks[i])
 }
 
+// Knots returns a copy of the knot sequence, including the (0,0) anchor
+// — reporting tools (EXPLAIN IVM) render fitted functions from it.
+func (f *PiecewiseLinear) Knots() []Knot {
+	out := make([]Knot, len(f.ks))
+	for i := range f.ks {
+		out[i] = Knot{K: f.ks[i], Cost: f.cs[i]}
+	}
+	return out
+}
+
 // Table is an empirical cost function backed by dense per-k measurements
 // for k in [0, len(samples)-1]; beyond the measured range it extrapolates
 // linearly using the average slope of the last quarter of the samples.

@@ -30,11 +30,19 @@ type Measurement struct {
 // updates, so table sizes stay constant — the same property the paper's
 // update workload has).
 func Measure(m *ivm.Maintainer, alias string, gen func() ivm.Mod, ks []int, w storage.Weights) (*Measurement, error) {
-	out := &Measurement{Alias: alias}
-	for _, k := range ks {
+	// The sample grid must be strictly increasing: duplicates would fold
+	// two measurements of drifted state into one fitted point, and
+	// out-of-order sizes would break Piecewise's knot ordering silently.
+	for i, k := range ks {
 		if k <= 0 {
 			return nil, fmt.Errorf("costmodel: batch size %d must be positive", k)
 		}
+		if i > 0 && k <= ks[i-1] {
+			return nil, fmt.Errorf("costmodel: batch sizes must be strictly increasing (ks[%d]=%d after %d)", i, k, ks[i-1])
+		}
+	}
+	out := &Measurement{Alias: alias}
+	for _, k := range ks {
 		for j := 0; j < k; j++ {
 			if err := m.Apply(gen()); err != nil {
 				return nil, err

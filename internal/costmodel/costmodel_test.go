@@ -2,6 +2,7 @@ package costmodel
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"abivm/internal/costfn"
@@ -69,8 +70,22 @@ func TestMeasureSupplierCostsDominatePartSupp(t *testing.T) {
 
 func TestMeasureValidation(t *testing.T) {
 	m, gen := setup(t)
-	if _, err := Measure(m, "PS", gen.PartSuppUpdate, []int{0}, storage.DefaultWeights()); err == nil {
+	w := storage.DefaultWeights()
+	if _, err := Measure(m, "PS", gen.PartSuppUpdate, []int{0}, w); err == nil {
 		t.Fatal("zero batch size accepted")
+	}
+	// Regression: duplicate sample sizes used to be measured twice against
+	// drifted state and fold into one fitted point; now rejected up front.
+	if _, err := Measure(m, "PS", gen.PartSuppUpdate, []int{1, 5, 5, 10}, w); err == nil || !strings.Contains(err.Error(), "strictly increasing") {
+		t.Fatalf("duplicate batch sizes: err = %v", err)
+	}
+	if _, err := Measure(m, "PS", gen.PartSuppUpdate, []int{10, 5}, w); err == nil || !strings.Contains(err.Error(), "strictly increasing") {
+		t.Fatalf("unsorted batch sizes: err = %v", err)
+	}
+	// Validation happens before any modification is applied: the queue is
+	// untouched after a rejected call.
+	if got := m.Pending(); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("rejected Measure mutated the maintainer: pending %v", got)
 	}
 }
 

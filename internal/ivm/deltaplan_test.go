@@ -1,0 +1,104 @@
+package ivm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"abivm/internal/sql"
+)
+
+// TestPlanViewRejections exercises every unsupported-feature path and
+// requires a typed diagnostic with the expected feature text.
+func TestPlanViewRejections(t *testing.T) {
+	cases := []struct {
+		query   string
+		feature string // substring of UnsupportedError.Feature
+		posSet  bool   // whether the diagnostic must carry a position
+	}{
+		{"SELECT a FROM t ORDER BY a", "ORDER BY", true},
+		{"SELECT a FROM t LIMIT 3", "LIMIT", true},
+		{"SELECT x.a FROM t AS x, u AS x", "duplicate alias", false},
+		{"SELECT a.k, b.k FROM t AS a, t AS b", "self-join", false},
+		{"SELECT SUM(amount), region FROM sales GROUP BY r2", "outside GROUP BY", true},
+		{"SELECT SUM(a) + 1 FROM t", "select item", false},
+	}
+	for _, tc := range cases {
+		_, err := PlanView(tc.query)
+		var ue *sql.UnsupportedError
+		if !errors.As(err, &ue) {
+			t.Errorf("PlanView(%q) err = %v, want *sql.UnsupportedError", tc.query, err)
+			continue
+		}
+		if !strings.Contains(ue.Feature, tc.feature) {
+			t.Errorf("PlanView(%q) feature = %q, want substring %q", tc.query, ue.Feature, tc.feature)
+		}
+		if tc.posSet && ue.Pos <= 0 {
+			t.Errorf("PlanView(%q) lost the source position: %+v", tc.query, ue)
+		}
+	}
+}
+
+func TestPlanViewShapes(t *testing.T) {
+	spj, err := PlanView("SELECT s.a FROM t AS s WHERE s.a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spj.Aggregate || spj.Delta != spj.View {
+		t.Errorf("SPJ plan: aggregate=%v, delta==view %v", spj.Aggregate, spj.Delta == spj.View)
+	}
+	agg, err := PlanView("SELECT g, SUM(a), COUNT(*) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Aggregate || agg.GroupCols != 1 || len(agg.aggKinds) != 2 {
+		t.Errorf("agg plan shape: %+v", agg)
+	}
+	// Delta query emits group cols then agg args; COUNT(*) becomes 1.
+	if got := agg.Delta.String(); got != "SELECT g, a, 1 FROM t" {
+		t.Errorf("delta query = %q", got)
+	}
+	if got := agg.AggDescriptions(); len(got) != 2 || got[0] != "SUM(a)" || got[1] != "COUNT(*)" {
+		t.Errorf("AggDescriptions = %v", got)
+	}
+}
+
+// TestDeltaPlanExplain renders the per-source physical plans over the
+// test database and pins the structural content.
+func TestDeltaPlanExplain(t *testing.T) {
+	db := liveDB(t)
+	m, err := New(db, `SELECT n.nname, SUM(s.suppkey), COUNT(*)
+		FROM supplier AS s, nation AS n
+		WHERE s.nationkey = n.nationkey
+		GROUP BY n.nname`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Plan()
+	if p == nil {
+		t.Fatal("Maintainer.Plan() = nil")
+	}
+	out, err := p.Explain(db.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"view:  SELECT n.nname, SUM(s.suppkey), COUNT(*) FROM supplier AS s, nation AS n",
+		"delta: SELECT n.nname, s.suppkey, 1 FROM supplier AS s, nation AS n",
+		"state: groups (group cols 1, aggregates SUM(s.suppkey) COUNT(*))",
+		"Δs (table supplier):",
+		"Δn (table nation):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic: two renders are byte-identical.
+	again, err := p.Explain(db.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != out {
+		t.Error("Explain is not deterministic")
+	}
+}

@@ -24,6 +24,7 @@ type Maintainer struct {
 	stats   *storage.Stats // maintenance-side work units (replica DB)
 
 	sel     *sql.Select
+	plan    *DeltaPlan        // the derivation behind sel/deltaSel, inspectable
 	aliases []string          // FROM order; index i is the paper's table i
 	tables  map[string]string // alias -> table name
 	deltas  map[string][]Mod
@@ -100,41 +101,38 @@ func New(live *storage.DB, query string) (*Maintainer, error) {
 // newSkeleton parses and binds the view definition and derives the delta
 // query, but builds no replicas and computes no content — the shared
 // front half of New (replicas snapshotted from live) and Recover
-// (replicas loaded from a checkpoint).
+// (replicas loaded from a checkpoint). The analysis itself lives in
+// PlanView; the skeleton just adopts the resulting DeltaPlan.
 func newSkeleton(live *storage.DB, query string) (*Maintainer, error) {
-	sel, err := sql.Parse(query)
+	p, err := PlanView(query)
 	if err != nil {
 		return nil, err
 	}
-	if len(sel.OrderBy) > 0 || sel.Limit != nil {
-		return nil, fmt.Errorf("ivm: ORDER BY / LIMIT are not supported in maintained view definitions")
-	}
 	m := &Maintainer{
-		live:   live,
-		sel:    sel,
-		tables: make(map[string]string),
-		deltas: make(map[string][]Mod),
-		groups: make(map[string]*groupState),
-		bag:    make(map[string]*bagEntry),
-		dirty:  make(map[string]storage.KeySet),
+		live:     live,
+		sel:      p.View,
+		plan:     p,
+		tables:   make(map[string]string),
+		deltas:   make(map[string][]Mod),
+		groups:   make(map[string]*groupState),
+		bag:      make(map[string]*bagEntry),
+		dirty:    make(map[string]storage.KeySet),
+		isAgg:    p.Aggregate,
+		gbCount:  p.GroupCols,
+		aggKinds: p.aggKinds,
+		itemRefs: p.itemRefs,
+		deltaSel: p.Delta,
 	}
-	seenTables := map[string]bool{}
-	for _, tr := range sel.From {
-		if _, dup := m.tables[tr.Alias]; dup {
-			return nil, fmt.Errorf("ivm: duplicate alias %q", tr.Alias)
-		}
-		if seenTables[tr.Table] {
-			return nil, fmt.Errorf("ivm: self-joins are not supported (table %q appears twice)", tr.Table)
-		}
-		seenTables[tr.Table] = true
-		m.tables[tr.Alias] = tr.Table
-		m.aliases = append(m.aliases, tr.Alias)
-	}
-	if err := m.buildDeltaQuery(); err != nil {
-		return nil, err
+	for _, s := range p.Sources {
+		m.tables[s.Alias] = s.Table
+		m.aliases = append(m.aliases, s.Alias)
 	}
 	return m, nil
 }
+
+// Plan returns the view's delta plan — the derivation behind the
+// maintainer's delta queries, shared and read-only.
+func (m *Maintainer) Plan() *DeltaPlan { return m.plan }
 
 // AttachWAL makes the maintainer record every accepted arrival and every
 // committed drain to w, enabling Checkpoint/Recover. A nil w detaches.
@@ -190,107 +188,17 @@ func (m *Maintainer) buildReplicas() error {
 	m.replica = storage.NewDB()
 	m.stats = m.replica.Stats()
 	for _, alias := range m.aliases {
-		name := m.tables[alias]
-		src, err := m.live.Table(name)
+		src, err := m.live.Table(m.tables[alias])
 		if err != nil {
 			return err
 		}
-		dst, err := m.replica.CreateTable(src.Schema())
-		if err != nil {
+		if _, err := storage.CloneTable(m.replica, src); err != nil {
 			return err
-		}
-		var insertErr error
-		src.Scan(func(r storage.Row) bool {
-			if err := dst.Insert(r); err != nil {
-				insertErr = err
-				return false
-			}
-			return true
-		})
-		if insertErr != nil {
-			return insertErr
-		}
-		for _, ix := range src.Indexes() {
-			cols := make([]string, len(ix.Cols))
-			for i, c := range ix.Cols {
-				cols[i] = src.Schema().Columns[c].Name
-			}
-			if err := dst.CreateIndex(ix.Name, ix.Kind, cols...); err != nil {
-				return err
-			}
 		}
 	}
 	// Snapshotting is setup cost, not maintenance cost: reset counters.
 	*m.stats = storage.Stats{}
 	return nil
-}
-
-// buildDeltaQuery derives the join query used for delta propagation and
-// the select-item mapping for rendering results.
-func (m *Maintainer) buildDeltaQuery() error {
-	if !m.sel.HasAggregates() && len(m.sel.GroupBy) == 0 {
-		// SPJ view: the delta query is the view query itself.
-		m.deltaSel = m.sel
-		return nil
-	}
-	m.isAgg = true
-	m.gbCount = len(m.sel.GroupBy)
-	ds := &sql.Select{From: m.sel.From, Where: m.sel.Where}
-	for _, g := range m.sel.GroupBy {
-		ds.Items = append(ds.Items, sql.SelectItem{Expr: g})
-	}
-	m.itemRefs = make([]itemRef, len(m.sel.Items))
-	for i, item := range m.sel.Items {
-		switch x := item.Expr.(type) {
-		case *sql.AggExpr:
-			arg := x.Arg
-			if arg == nil {
-				if x.Func != sql.AggCount {
-					return fmt.Errorf("ivm: %s requires an argument", x.Func)
-				}
-				arg = &sql.IntLit{V: 1}
-			}
-			kind, err := aggKind(x.Func)
-			if err != nil {
-				return err
-			}
-			m.itemRefs[i] = itemRef{groupIdx: -1, aggIdx: len(m.aggKinds)}
-			m.aggKinds = append(m.aggKinds, kind)
-			ds.Items = append(ds.Items, sql.SelectItem{Expr: arg})
-		case *sql.ColumnRef:
-			pos := -1
-			for gi, g := range m.sel.GroupBy {
-				if g.Column == x.Column && (g.Table == x.Table || g.Table == "" || x.Table == "") {
-					pos = gi
-					break
-				}
-			}
-			if pos < 0 {
-				return fmt.Errorf("ivm: select column %s is not in GROUP BY", x)
-			}
-			m.itemRefs[i] = itemRef{groupIdx: pos, aggIdx: -1}
-		default:
-			return fmt.Errorf("ivm: unsupported select item %s in an aggregate view", item.Expr)
-		}
-	}
-	m.deltaSel = ds
-	return nil
-}
-
-func aggKind(f sql.AggFunc) (exec.AggKind, error) {
-	switch f {
-	case sql.AggMin:
-		return exec.AggMin, nil
-	case sql.AggMax:
-		return exec.AggMax, nil
-	case sql.AggSum:
-		return exec.AggSum, nil
-	case sql.AggCount:
-		return exec.AggCount, nil
-	case sql.AggAvg:
-		return exec.AggAvg, nil
-	}
-	return 0, fmt.Errorf("ivm: unknown aggregate %q", f)
 }
 
 // initialize computes the initial view content by running the delta query

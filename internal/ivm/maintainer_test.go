@@ -1,11 +1,13 @@
 package ivm
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"strings"
 	"testing"
 
+	"abivm/internal/sql"
 	"abivm/internal/storage"
 )
 
@@ -451,8 +453,14 @@ func TestMaintainerRejectsOrderByAndLimit(t *testing.T) {
 		"SELECT suppkey FROM supplier ORDER BY suppkey",
 		"SELECT suppkey FROM supplier LIMIT 5",
 	} {
-		if _, err := New(db, q); err == nil || !strings.Contains(err.Error(), "not supported") {
-			t.Errorf("New(%q) err = %v", q, err)
+		_, err := New(db, q)
+		var ue *sql.UnsupportedError
+		if !errors.As(err, &ue) {
+			t.Errorf("New(%q) err = %v, want *sql.UnsupportedError", q, err)
+			continue
+		}
+		if ue.Pos <= 0 {
+			t.Errorf("New(%q) diagnostic has no position: %v", q, err)
 		}
 	}
 }

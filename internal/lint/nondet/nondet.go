@@ -10,7 +10,9 @@
 // Which packages count as "deterministic core" is driven by the Policy
 // table below, mirroring the replay-determinism contract: everything the
 // chaos and byte-identity harnesses compare byte-for-byte must compute
-// identical state from identical inputs. internal/obs (the measurement
+// identical state from identical inputs. That includes the SQL→IVM
+// compiler path (internal/viewc, internal/costmodel): the same seed,
+// database, and query must calibrate byte-identical cost models. internal/obs (the measurement
 // layer), internal/experiments (the timing harness), and cmd/... (the
 // I/O shell) are deliberately exempt — wall-clock there feeds metrics
 // and reports, never replayed state.
@@ -33,13 +35,15 @@ import (
 //	internal/policy       consumes only injected cost models and seeds
 //	cmd/...               process shell: flags, stdout, signals
 var Policy = map[string]bool{
-	"internal/ivm":     true,
-	"internal/pubsub":  true,
-	"internal/core":    true,
-	"internal/astar":   true,
-	"internal/fault":   true,
-	"internal/storage": true,
-	"internal/durable": true,
+	"internal/ivm":       true,
+	"internal/pubsub":    true,
+	"internal/core":      true,
+	"internal/astar":     true,
+	"internal/fault":     true,
+	"internal/storage":   true,
+	"internal/durable":   true,
+	"internal/costmodel": true,
+	"internal/viewc":     true,
 }
 
 // Analyzer is the nondet check.

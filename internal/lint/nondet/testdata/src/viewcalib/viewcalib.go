@@ -1,0 +1,37 @@
+// Package viewcalib exercises the nondet analyzer on the calibration
+// shapes the SQL→IVM compiler path must avoid: a sandbox whose
+// measurement loop reads the wall clock or draws from the global
+// math/rand generator produces cost models that differ run to run,
+// breaking the "same seed, same database, same query → byte-identical
+// model" compile contract. The seeded generator at the bottom is the
+// approved shape and must stay clean.
+package viewcalib
+
+import (
+	"math/rand"
+	"time"
+)
+
+// measureBatch stamps samples with the wall clock instead of the
+// engine's work-unit counters.
+func measureBatch(k int) (int, time.Time) {
+	return k, time.Now() // want "reads the wall clock"
+}
+
+// pickVictim selects a calibration victim from the global generator, so
+// two compiles of the same view disagree on what was measured.
+func pickVictim(n int) int {
+	return rand.Intn(n) // want "draws from the global generator"
+}
+
+// shuffledKs perturbs the calibration grid through the shared source.
+func shuffledKs(ks []int) {
+	rand.Shuffle(len(ks), func(i, j int) { ks[i], ks[j] = ks[j], ks[i] }) // want "draws from the global generator"
+}
+
+// seededGen is the approved alternative: a per-alias generator owned by
+// the sandbox, constructed from an explicit seed.
+func seededGen(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

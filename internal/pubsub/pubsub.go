@@ -80,6 +80,22 @@ type Subscription struct {
 	Policy policy.Policy
 }
 
+// CompiledSubscription is anything that can provision a complete
+// subscription — typically a view compiled by the SQL→IVM compiler
+// front end (internal/viewc), which derives the delta plan, calibrates
+// the cost model, and packages the result. The interface lives here so
+// the compiler can depend on pubsub without pubsub depending back on the
+// compiler.
+type CompiledSubscription interface {
+	Subscription() Subscription
+}
+
+// SubscribeCompiled registers a compiled view's subscription — identical
+// to Subscribe(cv.Subscription()).
+func (b *Broker) SubscribeCompiled(cv CompiledSubscription) error {
+	return b.Subscribe(cv.Subscription())
+}
+
 // sub is the broker-side state of one subscription.
 type sub struct {
 	cfg      Subscription

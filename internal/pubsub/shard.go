@@ -461,6 +461,13 @@ func (sb *ShardedBroker) Subscribe(cfg Subscription) error {
 	return nil
 }
 
+// SubscribeCompiled registers a compiled view's subscription on the
+// shard the assignment policy picks — identical to
+// Subscribe(cv.Subscription()).
+func (sb *ShardedBroker) SubscribeCompiled(cv CompiledSubscription) error {
+	return sb.Subscribe(cv.Subscription())
+}
+
 // quiesceShard drains one shard's queue through its worker. Caller holds
 // sb.mu.
 func (sb *ShardedBroker) quiesceShard(sh *shard) error {

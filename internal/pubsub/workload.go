@@ -168,10 +168,38 @@ func NewDemoWorkloadSpec(seed int64, spec WorkloadSpec, inj fault.Injector) (*De
 // (installed before the subscriptions exist, so their initial
 // checkpoints land on disk).
 func NewDemoWorkloadDurable(seed int64, spec WorkloadSpec, inj fault.Injector, opener durable.Opener) (*DemoWorkload, error) {
-	db, err := chaosDBSpec(spec)
+	db, err := DemoDB(spec)
 	if err != nil {
 		return nil, err
 	}
+	return NewDemoWorkloadOn(db, seed, spec, inj, opener, func(b *Broker) error {
+		subs, err := demoSubscriptionsSpec(spec)
+		if err != nil {
+			return err
+		}
+		for _, sc := range subs {
+			if err := b.Subscribe(sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// DemoDB builds the demo workload's deterministic base database
+// (stations and sales, populated per spec) without a broker on top. The
+// compiler front end calibrates catalog views against it, and tests use
+// it to hand-wire comparison brokers.
+func DemoDB(spec WorkloadSpec) (*storage.DB, error) { return chaosDBSpec(spec) }
+
+// NewDemoWorkloadOn assembles a demo workload over an existing demo
+// database with caller-provided subscriptions: the broker is configured
+// (retry seed, optional durability, optional injector) and then handed
+// to subscribe to register whatever subscriptions the caller wants —
+// `abivm serve -catalog` compiles a views.sql catalog and registers the
+// compiled subscriptions here. db must come from DemoDB(spec) (or match
+// its schema); the event stream publishes into stations and sales.
+func NewDemoWorkloadOn(db *storage.DB, seed int64, spec WorkloadSpec, inj fault.Injector, opener durable.Opener, subscribe func(*Broker) error) (*DemoWorkload, error) {
 	b := NewBroker(db)
 	b.SetRetrySeed(seed)
 	if opener != nil {
@@ -180,14 +208,8 @@ func NewDemoWorkloadDurable(seed int64, spec WorkloadSpec, inj fault.Injector, o
 	if inj != nil {
 		b.SetInjector(inj)
 	}
-	subs, err := demoSubscriptionsSpec(spec)
-	if err != nil {
+	if err := subscribe(b); err != nil {
 		return nil, err
-	}
-	for _, sc := range subs {
-		if err := b.Subscribe(sc); err != nil {
-			return nil, err
-		}
 	}
 	return &DemoWorkload{Broker: b, gen: newEventGenSpec(seed, spec)}, nil
 }

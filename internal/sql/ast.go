@@ -15,6 +15,10 @@ type Expr interface {
 type ColumnRef struct {
 	Table  string // alias or table name; "" if unqualified
 	Column string
+	// Pos is the 1-based byte offset of the reference in the source text;
+	// 0 for programmatically built nodes. It feeds UnsupportedError
+	// diagnostics and never participates in String or equality semantics.
+	Pos int
 }
 
 func (*ColumnRef) exprNode() {}
@@ -86,6 +90,9 @@ const (
 type AggExpr struct {
 	Func AggFunc
 	Arg  Expr
+	// Pos is the 1-based byte offset of the function keyword; 0 for
+	// programmatically built nodes.
+	Pos int
 }
 
 func (*AggExpr) exprNode() {}
@@ -127,6 +134,12 @@ type Select struct {
 	// the zero Select meaning "no limit", which programmatic AST
 	// construction relies on.)
 	Limit *int64
+	// OrderByPos and LimitPos are the 1-based byte offsets of the ORDER
+	// and LIMIT keywords; 0 when the clause is absent or programmatic.
+	// They let the IVM front end point its "not maintainable"
+	// diagnostics at the offending clause.
+	OrderByPos int
+	LimitPos   int
 }
 
 // String reassembles a canonical form of the query.

@@ -1,0 +1,118 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ViewDef is one catalog statement:
+//
+//	CREATE MATERIALIZED VIEW <name> QOS <c> AS SELECT ... ;
+//
+// Name is the subscription name the compiled view registers under, QoS
+// its response-time constraint C (the paper's bound on refresh cost),
+// and Query the view definition. Pos is the 1-based byte offset of the
+// CREATE keyword in the catalog source.
+type ViewDef struct {
+	Name  string
+	QoS   float64
+	Query *Select
+	Pos   int
+}
+
+// String renders the statement in canonical catalog form (no trailing
+// semicolon; Catalog.String adds statement separators).
+func (v ViewDef) String() string {
+	qos := strconv.FormatFloat(v.QoS, 'g', -1, 64)
+	return fmt.Sprintf("CREATE MATERIALIZED VIEW %s QOS %s AS %s", v.Name, qos, v.Query.String())
+}
+
+// Catalog is an ordered list of view definitions — the parsed form of a
+// views.sql file.
+type Catalog []ViewDef
+
+// String renders the catalog as a views.sql file: one statement per
+// line, each terminated by a semicolon.
+func (c Catalog) String() string {
+	var sb strings.Builder
+	for _, v := range c {
+		sb.WriteString(v.String())
+		sb.WriteString(";\n")
+	}
+	return sb.String()
+}
+
+// ParseCatalog parses a views.sql catalog: a sequence of CREATE
+// MATERIALIZED VIEW statements separated by semicolons, with `--` line
+// comments allowed anywhere. View names must be unique. An empty
+// catalog (comments only) parses to an empty list.
+func ParseCatalog(src string) (Catalog, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out Catalog
+	seen := map[string]int{}
+	for p.peek().kind != tokEOF {
+		v, err := p.parseViewDef()
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[v.Name]; dup {
+			return nil, errAt(v.Pos, "duplicate view name %q (first defined at position %d)", v.Name, prev)
+		}
+		seen[v.Name] = v.Pos
+		out = append(out, v)
+		// Statement separator: at least one semicolon; the final one is
+		// optional before EOF.
+		if !p.acceptSymbol(";") {
+			if p.peek().kind == tokEOF {
+				break
+			}
+			return nil, errAt(p.peek().pos, "expected \";\" between catalog statements, found %q", p.peek().text)
+		}
+		for p.acceptSymbol(";") {
+		}
+	}
+	return out, nil
+}
+
+// parseViewDef parses one CREATE MATERIALIZED VIEW statement.
+func (p *parser) parseViewDef() (ViewDef, error) {
+	v := ViewDef{Pos: p.peek().pos}
+	for _, kw := range []string{"CREATE", "MATERIALIZED", "VIEW"} {
+		if err := p.expectKeyword(kw); err != nil {
+			return ViewDef{}, err
+		}
+	}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return ViewDef{}, errAt(t.pos, "expected view name, found %q", t.text)
+	}
+	v.Name = t.text
+	p.advance()
+	if err := p.expectKeyword("QOS"); err != nil {
+		return ViewDef{}, err
+	}
+	q := p.peek()
+	if q.kind != tokNumber {
+		return ViewDef{}, errAt(q.pos, "QOS requires a numeric bound, found %q", q.text)
+	}
+	qos, err := strconv.ParseFloat(q.text, 64)
+	if err != nil || qos <= 0 {
+		return ViewDef{}, errAt(q.pos, "QOS bound must be a positive number, got %q", q.text)
+	}
+	v.QoS = qos
+	p.advance()
+	if err := p.expectKeyword("AS"); err != nil {
+		return ViewDef{}, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return ViewDef{}, err
+	}
+	v.Query = sel
+	return v, nil
+}

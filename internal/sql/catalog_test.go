@@ -1,0 +1,162 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const testCatalog = `
+-- demo views over the stations/sales schema
+CREATE MATERIALIZED VIEW big_sales QOS 25 AS
+SELECT s.salekey, s.amount FROM sales AS s WHERE s.amount > 10;
+
+CREATE MATERIALIZED VIEW east_sales QOS 30.5 AS
+SELECT s.salekey, st.region FROM sales AS s, stations AS st
+WHERE s.station = st.stationkey AND st.region = 'EAST';
+
+CREATE MATERIALIZED VIEW region_totals QOS 40 AS
+SELECT st.region, SUM(s.amount), COUNT(*) FROM sales AS s, stations AS st
+WHERE s.station = st.stationkey GROUP BY st.region
+`
+
+func TestParseCatalog(t *testing.T) {
+	cat, err := ParseCatalog(testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 3 {
+		t.Fatalf("got %d views, want 3", len(cat))
+	}
+	wantNames := []string{"big_sales", "east_sales", "region_totals"}
+	wantQoS := []float64{25, 30.5, 40}
+	for i, v := range cat {
+		if v.Name != wantNames[i] {
+			t.Errorf("view %d name = %q, want %q", i, v.Name, wantNames[i])
+		}
+		if v.QoS != wantQoS[i] {
+			t.Errorf("view %d QoS = %g, want %g", i, v.QoS, wantQoS[i])
+		}
+		if v.Pos <= 0 {
+			t.Errorf("view %d has no source position", i)
+		}
+	}
+	if got := len(cat[2].Query.GroupBy); got != 1 {
+		t.Errorf("region_totals GROUP BY arity = %d, want 1", got)
+	}
+}
+
+// TestCatalogRoundTrip proves parse → String → parse is the identity on
+// the canonical form: the re-parsed catalog matches both textually and
+// structurally.
+func TestCatalogRoundTrip(t *testing.T) {
+	cat, err := ParseCatalog(testCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := cat.String()
+	again, err := ParseCatalog(rendered)
+	if err != nil {
+		t.Fatalf("canonical catalog does not re-parse: %v\n%s", err, rendered)
+	}
+	if got := again.String(); got != rendered {
+		t.Fatalf("round trip changed the catalog:\n%s\n%s", rendered, got)
+	}
+	if len(again) != len(cat) {
+		t.Fatalf("round trip changed view count: %d vs %d", len(again), len(cat))
+	}
+	for i := range cat {
+		a, b := cat[i], again[i]
+		if a.Name != b.Name || a.QoS != b.QoS {
+			t.Errorf("view %d header changed: %q/%g vs %q/%g", i, a.Name, a.QoS, b.Name, b.QoS)
+		}
+		if !reflect.DeepEqual(normalize(a.Query), normalize(b.Query)) {
+			t.Errorf("view %d query changed structurally:\n%#v\n%#v", i, a.Query, b.Query)
+		}
+	}
+}
+
+func TestParseCatalogErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"CREATE VIEW x QOS 1 AS SELECT a FROM t", "expected MATERIALIZED"},
+		{"CREATE MATERIALIZED VIEW 5 QOS 1 AS SELECT a FROM t", "expected view name"},
+		{"CREATE MATERIALIZED VIEW x AS SELECT a FROM t", "expected QOS"},
+		{"CREATE MATERIALIZED VIEW x QOS abc AS SELECT a FROM t", "QOS requires a numeric bound"},
+		{"CREATE MATERIALIZED VIEW x QOS 0 AS SELECT a FROM t", "must be a positive number"},
+		{"CREATE MATERIALIZED VIEW x QOS -3 AS SELECT a FROM t", "QOS requires a numeric bound"},
+		{"CREATE MATERIALIZED VIEW x QOS 1 SELECT a FROM t", "expected AS"},
+		{
+			"CREATE MATERIALIZED VIEW x QOS 1 AS SELECT a FROM t; CREATE MATERIALIZED VIEW x QOS 2 AS SELECT b FROM u",
+			"duplicate view name",
+		},
+		{
+			"CREATE MATERIALIZED VIEW x QOS 1 AS SELECT a FROM t CREATE MATERIALIZED VIEW y QOS 2 AS SELECT b FROM u",
+			"expected \";\"",
+		},
+	}
+	for _, tc := range cases {
+		_, err := ParseCatalog(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseCatalog(%q) error = %v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+// TestLineComments proves `--` comments are stripped by the lexer in
+// both plain queries and catalogs.
+func TestLineComments(t *testing.T) {
+	sel, err := Parse("SELECT a -- trailing comment\nFROM t -- another\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.String(); got != "SELECT a FROM t" {
+		t.Errorf("comment parse = %q", got)
+	}
+	if _, err := ParseCatalog("-- only comments\n-- nothing else\n"); err != nil {
+		t.Errorf("comment-only catalog: %v", err)
+	}
+}
+
+// TestUnsupportedError pins the diagnostic rendering with and without a
+// source position.
+func TestUnsupportedError(t *testing.T) {
+	e := &UnsupportedError{Pos: 42, Feature: "ORDER BY"}
+	if got := e.Error(); got != "sql: position 42: ORDER BY is not maintainable" {
+		t.Errorf("Error() = %q", got)
+	}
+	e2 := &UnsupportedError{Feature: "self-join"}
+	if got := e2.Error(); got != "sql: self-join is not maintainable" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+// TestParserPositions proves the parser records clause and reference
+// positions for diagnostics.
+func TestParserPositions(t *testing.T) {
+	src := "SELECT a FROM t ORDER BY a LIMIT 3"
+	sel, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strings.Index(src, "ORDER") + 1; sel.OrderByPos != want {
+		t.Errorf("OrderByPos = %d, want %d", sel.OrderByPos, want)
+	}
+	if want := strings.Index(src, "LIMIT") + 1; sel.LimitPos != want {
+		t.Errorf("LimitPos = %d, want %d", sel.LimitPos, want)
+	}
+	ref, ok := sel.Items[0].Expr.(*ColumnRef)
+	if !ok || ref.Pos != len("SELECT ")+1 {
+		t.Errorf("select item position = %+v", sel.Items[0].Expr)
+	}
+	agg, err := Parse("SELECT SUM(a) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := agg.Items[0].Expr.(*AggExpr)
+	if ax.Pos != len("SELECT ")+1 {
+		t.Errorf("AggExpr.Pos = %d", ax.Pos)
+	}
+}

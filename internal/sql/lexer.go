@@ -36,6 +36,8 @@ var keywords = map[string]bool{
 	"GROUP": true, "BY": true, "MIN": true, "MAX": true, "SUM": true,
 	"COUNT": true, "AVG": true, "ORDER": true, "ASC": true, "DESC": true,
 	"LIMIT": true,
+	// Catalog statements (views.sql files).
+	"CREATE": true, "MATERIALIZED": true, "VIEW": true, "QOS": true,
 }
 
 // lexer tokenizes a SQL string.
@@ -57,8 +59,19 @@ func errAt(pos int, format string, args ...any) error {
 }
 
 func (l *lexer) next() (token, error) {
-	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
-		l.pos++
+	for l.pos < len(l.src) {
+		if unicode.IsSpace(rune(l.src[l.pos])) {
+			l.pos++
+			continue
+		}
+		// "--" starts a line comment (catalog files use them as headers).
+		if l.src[l.pos] == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
 	}
 	if l.pos >= len(l.src) {
 		return token{kind: tokEOF, pos: l.pos + 1}, nil

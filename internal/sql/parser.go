@@ -135,7 +135,9 @@ func (p *parser) parseSelect() (*Select, error) {
 			}
 		}
 	}
-	if p.acceptKeyword("ORDER") {
+	if t := p.peek(); t.kind == tokKeyword && t.text == "ORDER" {
+		sel.OrderByPos = t.pos
+		p.advance()
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
@@ -161,7 +163,9 @@ func (p *parser) parseSelect() (*Select, error) {
 			}
 		}
 	}
-	if p.acceptKeyword("LIMIT") {
+	if lt := p.peek(); lt.kind == tokKeyword && lt.text == "LIMIT" {
+		sel.LimitPos = lt.pos
+		p.advance()
 		t := p.peek()
 		if t.kind != tokNumber || hasDot(t.text) {
 			return nil, errAt(t.pos, "LIMIT requires an integer literal")
@@ -307,7 +311,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return nil, errAt(t.pos, "unexpected keyword %q", t.text)
 	case tokIdent:
 		p.advance()
-		ref := &ColumnRef{Column: t.text}
+		ref := &ColumnRef{Column: t.text, Pos: t.pos}
 		if p.acceptSymbol(".") {
 			c := p.peek()
 			if c.kind != tokIdent {
@@ -350,6 +354,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 }
 
 func (p *parser) parseAgg(fn AggFunc) (Expr, error) {
+	pos := p.peek().pos
 	p.advance() // consume the function keyword
 	if err := p.expectSymbol("("); err != nil {
 		return nil, err
@@ -361,7 +366,7 @@ func (p *parser) parseAgg(fn AggFunc) (Expr, error) {
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
 		}
-		return &AggExpr{Func: AggCount}, nil
+		return &AggExpr{Func: AggCount, Pos: pos}, nil
 	}
 	arg, err := p.parseAdditive()
 	if err != nil {
@@ -370,7 +375,7 @@ func (p *parser) parseAgg(fn AggFunc) (Expr, error) {
 	if err := p.expectSymbol(")"); err != nil {
 		return nil, err
 	}
-	return &AggExpr{Func: fn, Arg: arg}, nil
+	return &AggExpr{Func: fn, Arg: arg, Pos: pos}, nil
 }
 
 func hasDot(s string) bool {

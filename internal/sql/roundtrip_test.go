@@ -42,9 +42,46 @@ func TestRandomASTStructuralEquality(t *testing.T) {
 }
 
 // normalize strips features the printer canonicalizes away so DeepEqual
-// compares semantics: bare aliases print as AS-aliases, implicit table
-// aliases equal the table name either way.
-func normalize(s *Select) *Select { return s }
+// compares semantics: source positions (absent from programmatic ASTs,
+// present after parsing) are zeroed throughout.
+func normalize(s *Select) *Select {
+	out := *s
+	out.OrderByPos, out.LimitPos = 0, 0
+	out.Items = make([]SelectItem, len(s.Items))
+	for i, it := range s.Items {
+		out.Items[i] = SelectItem{Expr: stripPos(it.Expr), Alias: it.Alias}
+	}
+	out.Where = make([]Expr, len(s.Where))
+	for i, w := range s.Where {
+		out.Where[i] = stripPos(w)
+	}
+	out.GroupBy = make([]*ColumnRef, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		out.GroupBy[i] = stripPos(g).(*ColumnRef)
+	}
+	out.OrderBy = make([]OrderItem, len(s.OrderBy))
+	for i, o := range s.OrderBy {
+		out.OrderBy[i] = OrderItem{Expr: stripPos(o.Expr).(*ColumnRef), Desc: o.Desc}
+	}
+	return &out
+}
+
+// stripPos deep-copies an expression with every source position zeroed.
+func stripPos(e Expr) Expr {
+	switch x := e.(type) {
+	case *ColumnRef:
+		return &ColumnRef{Table: x.Table, Column: x.Column}
+	case *AggExpr:
+		out := &AggExpr{Func: x.Func}
+		if x.Arg != nil {
+			out.Arg = stripPos(x.Arg)
+		}
+		return out
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, Left: stripPos(x.Left), Right: stripPos(x.Right)}
+	}
+	return e
+}
 
 // --- random AST generation -------------------------------------------
 

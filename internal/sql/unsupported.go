@@ -1,0 +1,28 @@
+package sql
+
+import "fmt"
+
+// UnsupportedError reports a query feature that parses fine but cannot
+// be incrementally maintained (ORDER BY, LIMIT, self-joins, unknown
+// aggregates, select items outside GROUP BY, ...). It carries the
+// 1-based byte position of the offending construct so front ends can
+// point at the source text instead of echoing a bare string; Pos is 0
+// when the construct was built programmatically and has no source
+// position.
+type UnsupportedError struct {
+	Pos     int    // 1-based byte offset into the query text; 0 = unknown
+	Feature string // human-readable name of the rejected construct
+}
+
+// Error renders "position N: <feature> is not maintainable".
+func (e *UnsupportedError) Error() string {
+	if e.Pos > 0 {
+		return fmt.Sprintf("sql: position %d: %s is not maintainable", e.Pos, e.Feature)
+	}
+	return fmt.Sprintf("sql: %s is not maintainable", e.Feature)
+}
+
+// Unsupported builds an UnsupportedError for the feature at pos.
+func Unsupported(pos int, format string, args ...any) error {
+	return &UnsupportedError{Pos: pos, Feature: fmt.Sprintf(format, args...)}
+}
