@@ -3,7 +3,7 @@ GO ?= go
 # retry loop, stuck worker pool) fails the run instead of wedging it.
 TEST_TIMEOUT ?= 10m
 
-.PHONY: build test race lint lint-json lint-self vet verify chaos bench bench-quick bench-gate serve-smoke compile-smoke
+.PHONY: build test race lint lint-json lint-self vet verify chaos bench bench-quick bench-gate serve-smoke compile-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,11 @@ bench-gate:
 # with the required metric series.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# docs-check fails when ARCHITECTURE.md/README.md drift from the
+# package tree (stale references or unmapped packages).
+docs-check:
+	sh scripts/docs_check.sh
 
 # compile-smoke runs the SQL→IVM compiler end-to-end over the example
 # catalog, then serves the compiled views for a short run.

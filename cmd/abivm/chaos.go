@@ -20,6 +20,7 @@ import (
 // the command exit nonzero.
 //
 //	abivm chaos -seed 1 -runs 50 -steps 60
+//	abivm chaos -seed 1 -runs 50 -shared
 //	abivm chaos -seed 1 -runs 5 -shards 4
 //	abivm chaos -seed 1 -runs 10 -chain-depth 3 -compact-every 4
 //	abivm chaos -seed 1 -runs 50 -data-dir /tmp/abivm -disk-faults
@@ -32,6 +33,7 @@ func runChaos(ctx context.Context, args []string) error {
 	shards := fs.Int("shards", 0, "run the sharded runtime with this many shards and per-shard fault streams (0 = serial broker)")
 	chainDepth := fs.Int("chain-depth", 0, "checkpoint-chain depth of the incremental variants (0 derives it from each seed)")
 	compactEvery := fs.Int("compact-every", 0, "scheduled chain-compaction cadence in steps (0 derives it from each seed)")
+	shared := fs.Bool("shared", false, "add shared-dataflow variants: the workload re-run on the hash-consed operator graph, fault-free and faulted, compared against the classic baseline")
 	disk := fs.Bool("disk", false, "add a disk-backed durability variant (in-memory files unless -data-dir)")
 	dataDir := fs.String("data-dir", "", "root directory for the disk variants' WAL and checkpoint files (implies -disk)")
 	diskFaults := fs.Bool("disk-faults", false, "also run the disk variant under seeded byte-level media damage (implies -disk)")
@@ -52,7 +54,7 @@ func runChaos(ctx context.Context, args []string) error {
 		s := *seed + int64(i)
 		rep, err := pubsub.RunChaos(pubsub.ChaosConfig{
 			Seed: s, Steps: *steps, CheckpointEvery: *cpEvery, Shards: *shards,
-			ChainDepth: *chainDepth, CompactEvery: *compactEvery,
+			ChainDepth: *chainDepth, CompactEvery: *compactEvery, Shared: *shared,
 			Disk: *disk, DataDir: *dataDir, DiskFaults: *diskFaults,
 		})
 		if err != nil {

@@ -19,12 +19,14 @@ import (
 //
 //	abivm compile -catalog examples/views.sql
 //	abivm compile -fit piecewise -json 'SELECT s.salekey FROM sales AS s'
+//	abivm compile -dataflow 'SELECT st.region, COUNT(*) FROM sales AS s, stations AS st WHERE s.station = st.stationkey GROUP BY st.region'
 func runCompile(args []string) error {
 	fs := flag.NewFlagSet("compile", flag.ContinueOnError)
 	catalog := fs.String("catalog", "", "compile every view of this views.sql catalog")
 	fit := fs.String("fit", "linear", "cost-function fit: linear or piecewise")
 	seed := fs.Int64("seed", 1, "calibration seed")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of the EXPLAIN IVM report")
+	dataflow := fs.Bool("dataflow", false, "target the shared delta-dataflow runtime: the report gains the canonical operator signatures the view would intern into the shared graph")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -32,7 +34,7 @@ func runCompile(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := viewc.Options{Fit: *fit, Seed: *seed}
+	opts := viewc.Options{Fit: *fit, Seed: *seed, Dataflow: *dataflow}
 
 	var views []*viewc.CompiledView
 	var compileErr error

@@ -28,6 +28,7 @@ import (
 //	/debug/pprof/...  net/http/pprof, only with -pprof
 //
 //	abivm serve -addr 127.0.0.1:8080 -seed 1 -interval 50ms -faults
+//	abivm serve -shared -faults
 //	abivm serve -shards 4 -faults
 //	abivm serve -data-dir /var/lib/abivm -faults
 //	abivm serve -catalog examples/views.sql
@@ -43,11 +44,18 @@ func runServe(ctx context.Context, args []string) error {
 	shards := fs.Int("shards", 0, "run the sharded broker runtime with this many shards over a 2*shards-region workload (0 = serial broker)")
 	dataDir := fs.String("data-dir", "", "persist each subscription's WAL and checkpoints under this directory (empty = in-memory durability)")
 	catalog := fs.String("catalog", "", "serve this views.sql catalog: compile every view and subscribe it instead of the built-in east/west pair (serial broker only)")
+	shared := fs.Bool("shared", false, "run the subscriptions on the shared delta-dataflow runtime: one hash-consed operator graph instead of per-view maintainers (serial broker, in-memory durability)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *catalog != "" && *shards > 0 {
 		return fmt.Errorf("serve: -catalog currently runs on the serial broker; drop -shards")
+	}
+	if *shared && *shards > 0 {
+		return fmt.Errorf("serve: -shared currently runs on the serial broker; drop -shards")
+	}
+	if *shared && *dataDir != "" {
+		return fmt.Errorf("serve: -shared has no disk durability yet; drop -data-dir")
 	}
 	var opener durable.Opener
 	if *dataDir != "" {
@@ -80,9 +88,12 @@ func runServe(ctx context.Context, args []string) error {
 		}
 		var w *pubsub.DemoWorkload
 		var err error
-		if *catalog != "" {
-			w, err = catalogWorkload(*catalog, *seed, inj, opener)
-		} else {
+		switch {
+		case *catalog != "":
+			w, err = catalogWorkload(*catalog, *seed, inj, opener, *shared)
+		case *shared:
+			w, err = pubsub.NewDemoWorkloadShared(*seed, pubsub.DefaultWorkloadSpec(), inj)
+		default:
 			w, err = pubsub.NewDemoWorkloadDurable(*seed, pubsub.DefaultWorkloadSpec(), inj, opener)
 		}
 		if err != nil {
@@ -147,7 +158,7 @@ loop:
 // compiled view is registered through SubscribeCompiled. The event
 // stream is the same seeded stations/sales stream the built-in demo
 // uses, so any catalog view over those tables sees live deltas.
-func catalogWorkload(path string, seed int64, inj fault.Injector, opener durable.Opener) (*pubsub.DemoWorkload, error) {
+func catalogWorkload(path string, seed int64, inj fault.Injector, opener durable.Opener, shared bool) (*pubsub.DemoWorkload, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -157,12 +168,17 @@ func catalogWorkload(path string, seed int64, inj fault.Injector, opener durable
 	if err != nil {
 		return nil, err
 	}
-	views, err := viewc.CompileCatalog(db, string(src), viewc.Options{Seed: seed, Condition: pubsub.Every(5)})
+	views, err := viewc.CompileCatalog(db, string(src), viewc.Options{Seed: seed, Condition: pubsub.Every(5), Dataflow: shared})
 	if err != nil {
 		return nil, err
 	}
 	fmt.Printf("abivm serve: compiled %d views from %s\n", len(views), path)
 	return pubsub.NewDemoWorkloadOn(db, seed, spec, inj, opener, func(b *pubsub.Broker) error {
+		if shared {
+			if err := b.SetSharedDataflow(true); err != nil {
+				return err
+			}
+		}
 		for _, cv := range views {
 			if err := b.SubscribeCompiled(cv); err != nil {
 				return err

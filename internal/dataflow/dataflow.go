@@ -1,0 +1,75 @@
+// Package dataflow is the shared incremental-view runtime: instead of
+// one monolithic maintainer per view (internal/ivm), views compile into
+// a DAG of composable incremental operators — scan, filter, join,
+// project — over signed-multiplicity delta batches (Z-sets, per DBSP
+// and DBToaster's delta processing). Structurally equal sub-plans are
+// hash-consed at subscription time, so N overlapping views share one
+// filtered-join operator whose output fans out to N per-view sinks; a
+// per-operator reference count releases only unshared nodes on
+// unsubscribe.
+//
+// Byte-identity with the per-view maintainer rests on coordinate
+// attribution: every delta carries, per base table of its producing
+// operator, the sequence number of the source modification it derives
+// from (0 = base snapshot). Operators propagate eagerly at publish
+// time, but each view's sink folds a delta only once the view's
+// per-table drain cursors cover all its coordinates. By bilinearity of
+// the join, the folded content at cursors (c_1..c_n) is multiset-equal
+// to the delta query over base-table prefixes of those lengths — which
+// is exactly the state the per-view maintainer holds after draining the
+// same batches (see DESIGN.md §14 for the full argument).
+package dataflow
+
+import (
+	"abivm/internal/storage"
+)
+
+// Coord attributes a delta to source modifications: one entry per base
+// table of the producing operator (in the operator's table order),
+// holding the 1-based sequence number of the modification on that
+// table's ingest log this delta derives from. 0 means "from the base
+// snapshot" and is covered by every cursor.
+type Coord []uint64
+
+// Delta is one signed-multiplicity change record flowing through the
+// operator graph: Row with weight W (+1 insert, -1 retract; joins may
+// produce other products of ±1).
+type Delta struct {
+	Row   storage.Row
+	W     int64
+	Coord Coord
+}
+
+// coveredBy reports whether every coordinate is at or below the cursor
+// for its table. tabs aligns positionally with c; cursors maps table →
+// covered log prefix length (missing tables cover only coordinate 0).
+func (c Coord) coveredBy(tabs []string, cursors map[string]uint64) bool {
+	for i, v := range c {
+		if v > cursors[tabs[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// weightedRow is a row with a net multiplicity — the unit of an
+// operator's materialized current output (used to seed join states and
+// initialize late-attaching state).
+type weightedRow struct {
+	row storage.Row
+	w   int64
+}
+
+// concatRows concatenates a join pair into the combined output row.
+func concatRows(l, r storage.Row) storage.Row {
+	out := make(storage.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+// concatCoords concatenates a join pair's attributions.
+func concatCoords(l, r Coord) Coord {
+	out := make(Coord, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}

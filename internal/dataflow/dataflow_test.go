@@ -1,0 +1,627 @@
+package dataflow
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"abivm/internal/ivm"
+	"abivm/internal/storage"
+)
+
+// testDB builds the stations/sales database the chaos workload uses.
+func testDB(t *testing.T) *storage.DB {
+	t.Helper()
+	db := storage.NewDB()
+	st, err := storage.NewSchema("stations", []storage.Column{
+		{Name: "stationkey", Type: storage.TInt},
+		{Name: "region", Type: storage.TString},
+	}, "stationkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stations, err := db.CreateTable(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := []string{"EAST", "WEST"}
+	for i := int64(0); i < 6; i++ {
+		if err := stations.Insert(storage.Row{storage.I(i), storage.S(regions[i%2])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := stations.CreateIndex("st_pk", storage.HashIndex, "stationkey"); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := storage.NewSchema("sales", []storage.Column{
+		{Name: "salekey", Type: storage.TInt},
+		{Name: "station", Type: storage.TInt},
+		{Name: "amount", Type: storage.TFloat},
+	}, "salekey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sales, err := db.CreateTable(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if err := sales.Insert(storage.Row{storage.I(i), storage.I(i % 6), storage.F(float64(1 + i%9))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// applyLive applies one modification to the live database (the part
+// Maintainer.Apply does besides enqueueing).
+func applyLive(t *testing.T, db *storage.DB, table string, mod ivm.Mod) {
+	t.Helper()
+	tbl, err := db.Table(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch mod.Kind {
+	case ivm.ModInsert:
+		err = tbl.Insert(mod.Row)
+	case ivm.ModDelete:
+		_, err = tbl.Delete(mod.Key...)
+	case ivm.ModUpdate:
+		_, err = tbl.Update(mod.Key, mod.Row)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func renderRows(rows []storage.Row) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf("%q", storage.EncodeKey(r...))
+	}
+	return strings.Join(parts, "|")
+}
+
+// pair couples a classic maintainer and a shared-graph handle over one
+// live database, fed the same modification and drain streams.
+type pair struct {
+	t *testing.T
+	m *ivm.Maintainer
+	h *ViewHandle
+	g *Graph
+}
+
+func newPair(t *testing.T, db *storage.DB, g *Graph, query string) *pair {
+	t.Helper()
+	m, err := ivm.New(db, query)
+	if err != nil {
+		t.Fatalf("ivm.New(%q): %v", query, err)
+	}
+	p, err := ivm.PlanView(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := g.Subscribe(p)
+	if err != nil {
+		t.Fatalf("Subscribe(%q): %v", query, err)
+	}
+	return &pair{t: t, m: m, h: h, g: g}
+}
+
+// apply routes one modification to both runtimes: the maintainer
+// applies it to the live table and enqueues; the graph ingests it
+// (the live mutation already happened).
+func (p *pair) apply(table string, mod ivm.Mod) {
+	p.t.Helper()
+	if err := p.m.Apply(mod); err != nil {
+		p.t.Fatalf("maintainer apply: %v", err)
+	}
+	if err := p.g.Ingest(table, mod); err != nil {
+		p.t.Fatalf("graph ingest: %v", err)
+	}
+}
+
+func (p *pair) drain(alias string, k int) {
+	p.t.Helper()
+	if err := p.m.ProcessBatch(alias, k); err != nil {
+		p.t.Fatalf("maintainer drain %s/%d: %v", alias, k, err)
+	}
+	if err := p.h.ProcessBatch(alias, k); err != nil {
+		p.t.Fatalf("handle drain %s/%d: %v", alias, k, err)
+	}
+}
+
+func (p *pair) check(ctx string) {
+	p.t.Helper()
+	want := renderRows(p.m.Result())
+	got := renderRows(p.h.Result())
+	if want != got {
+		p.t.Fatalf("%s: shared result diverged\nmaintainer: %s\nshared:     %s", ctx, want, got)
+	}
+	wantPend := fmt.Sprint(p.m.Pending())
+	gotPend := fmt.Sprint(p.h.Pending())
+	if wantPend != gotPend {
+		p.t.Fatalf("%s: pending diverged: maintainer %s, shared %s", ctx, wantPend, gotPend)
+	}
+}
+
+// mutate generates one deterministic pseudo-random modification stream
+// step: inserts, deletes, and updates over both tables.
+type mutator struct {
+	rng      *rand.Rand
+	nextSale int64
+	sales    []int64
+	stations []int64
+}
+
+func newMutator(seed int64) *mutator {
+	mu := &mutator{rng: rand.New(rand.NewSource(seed)), nextSale: 20}
+	for i := int64(0); i < 20; i++ {
+		mu.sales = append(mu.sales, i)
+	}
+	for i := int64(0); i < 6; i++ {
+		mu.stations = append(mu.stations, i)
+	}
+	return mu
+}
+
+// step emits (table, mod) pairs; aliases are stamped by the caller.
+func (mu *mutator) step() (tables []string, mods []ivm.Mod) {
+	n := 1 + mu.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		switch mu.rng.Intn(4) {
+		case 0, 1: // insert a sale
+			id := mu.nextSale
+			mu.nextSale++
+			mu.sales = append(mu.sales, id)
+			row := storage.Row{storage.I(id), storage.I(mu.stations[mu.rng.Intn(len(mu.stations))]), storage.F(float64(1 + mu.rng.Intn(20)))}
+			tables = append(tables, "sales")
+			mods = append(mods, ivm.Mod{Kind: ivm.ModInsert, Row: row})
+		case 2: // delete a sale
+			if len(mu.sales) == 0 {
+				continue
+			}
+			i := mu.rng.Intn(len(mu.sales))
+			id := mu.sales[i]
+			mu.sales = append(mu.sales[:i], mu.sales[i+1:]...)
+			tables = append(tables, "sales")
+			mods = append(mods, ivm.Mod{Kind: ivm.ModDelete, Key: []storage.Value{storage.I(id)}})
+		case 3: // flip a station's region
+			id := mu.stations[mu.rng.Intn(len(mu.stations))]
+			region := "EAST"
+			if mu.rng.Intn(2) == 0 {
+				region = "WEST"
+			}
+			tables = append(tables, "stations")
+			mods = append(mods, ivm.Mod{Kind: ivm.ModUpdate, Key: []storage.Value{storage.I(id)}, Row: storage.Row{storage.I(id), storage.S(region)}})
+		}
+	}
+	return tables, mods
+}
+
+var equivalenceQueries = []string{
+	"SELECT SUM(s.amount), COUNT(*) FROM sales AS s, stations AS st WHERE s.station = st.stationkey AND st.region = 'EAST'",
+	"SELECT st.region, SUM(s.amount), MIN(s.amount), MAX(s.amount) FROM sales AS s, stations AS st WHERE s.station = st.stationkey GROUP BY st.region",
+	"SELECT s.salekey, st.region FROM sales AS s, stations AS st WHERE s.station = st.stationkey AND s.amount > 5",
+	"SELECT region, COUNT(*) FROM stations GROUP BY region",
+	"SELECT station, AVG(amount) FROM sales GROUP BY station",
+}
+
+// aliasFor maps a table to a query's FROM alias; the equivalence
+// queries use s/st or the bare table names.
+func aliasFor(m *ivm.Maintainer, table string) string {
+	for _, a := range m.Aliases() {
+		if m.TableOf(a) == table {
+			return a
+		}
+	}
+	return ""
+}
+
+// TestEquivalenceWithMaintainer drives the per-view maintainer and the
+// shared-graph handle with identical modification and asymmetric drain
+// schedules and requires byte-identical results and backlog vectors at
+// every step — the core byte-identity contract of the shared runtime.
+func TestEquivalenceWithMaintainer(t *testing.T) {
+	for qi, query := range equivalenceQueries {
+		for seed := int64(1); seed <= 5; seed++ {
+			db := testDB(t)
+			g := NewGraph(db)
+			p := newPair(t, db, g, query)
+			mu := newMutator(seed)
+			drains := rand.New(rand.NewSource(seed * 977))
+			for step := 0; step < 40; step++ {
+				tables, mods := mu.step()
+				for i, mod := range mods {
+					alias := aliasFor(p.m, tables[i])
+					if alias == "" {
+						continue // table not read by this view
+					}
+					mod.Alias = alias
+					p.apply(tables[i], mod)
+				}
+				// Asymmetric drain: pick one alias, drain a random prefix.
+				aliases := p.m.Aliases()
+				alias := aliases[drains.Intn(len(aliases))]
+				pend := p.m.Pending()
+				for i, a := range aliases {
+					if a == alias && pend[i] > 0 {
+						p.drain(alias, 1+drains.Intn(pend[i]))
+					}
+				}
+				p.check(fmt.Sprintf("query %d seed %d step %d", qi, seed, step))
+			}
+			// Full refresh at the end must converge both runtimes.
+			if err := p.m.Refresh(); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.h.Refresh(); err != nil {
+				t.Fatal(err)
+			}
+			p.check(fmt.Sprintf("query %d seed %d refresh", qi, seed))
+		}
+	}
+}
+
+// TestEquivalenceSingleTableMods exercises queries whose tables see no
+// mods at all for long stretches (cursor coverage with frozen
+// coordinates).
+func TestEquivalenceLateSubscriber(t *testing.T) {
+	query := equivalenceQueries[1]
+	db := testDB(t)
+	g := NewGraph(db)
+	p := newPair(t, db, g, query)
+	mu := newMutator(7)
+	for step := 0; step < 10; step++ {
+		tables, mods := mu.step()
+		for i, mod := range mods {
+			mod.Alias = aliasFor(p.m, tables[i])
+			p.apply(tables[i], mod)
+		}
+	}
+	// A subscriber arriving mid-stream starts from the live state with
+	// an empty backlog, exactly like a fresh maintainer.
+	p2 := newPair(t, db, g, equivalenceQueries[0])
+	p2.check("late subscribe")
+	drains := rand.New(rand.NewSource(99))
+	for step := 0; step < 20; step++ {
+		tables, mods := mu.step()
+		for i, mod := range mods {
+			mod.Alias = aliasFor(p.m, tables[i])
+			p.apply(tables[i], mod)
+			mod2 := mod
+			mod2.Alias = aliasFor(p2.m, tables[i])
+			if err := p2.m.ApplyDeferred(mod2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, pr := range []*pair{p, p2} {
+			aliases := pr.m.Aliases()
+			alias := aliases[drains.Intn(len(aliases))]
+			pend := pr.m.Pending()
+			for i, a := range aliases {
+				if a == alias && pend[i] > 0 {
+					pr.drain(alias, 1+drains.Intn(pend[i]))
+				}
+			}
+		}
+		p.check(fmt.Sprintf("late step %d view 1", step))
+		p2.check(fmt.Sprintf("late step %d view 2", step))
+	}
+}
+
+// TestSharingOpCount proves sharing is real: two views over the same
+// join with different group-bys instantiate the shared sub-plan once,
+// and a third identical view adds no nodes at all.
+func TestSharingOpCount(t *testing.T) {
+	db := testDB(t)
+	g := NewGraph(db)
+	qA := "SELECT st.region, SUM(s.amount) FROM sales AS s, stations AS st WHERE s.station = st.stationkey GROUP BY st.region"
+	qB := "SELECT st.stationkey, COUNT(*) FROM sales AS s, stations AS st WHERE s.station = st.stationkey GROUP BY st.stationkey"
+
+	pA, err := ivm.PlanView(qA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hA, err := g.Subscribe(pA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g.Stats()
+	if base.Nodes != 4 { // scan(sales), scan(stations), join, project
+		t.Fatalf("single view built %d nodes, want 4: %v", base.Nodes, hA.Signatures())
+	}
+
+	pB, err := ivm.PlanView(qB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := g.Subscribe(pB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Nodes != 5 { // + project only; both scans and the join shared
+		t.Fatalf("two overlapping views built %d nodes, want 5", st.Nodes)
+	}
+	if st.InternHits != 3 {
+		t.Fatalf("intern hits = %d, want 3 (scan, scan, join reused)", st.InternHits)
+	}
+	if st.Views != 2 {
+		t.Fatalf("views = %d, want 2", st.Views)
+	}
+
+	// An identical third view shares everything including the top
+	// projection; its sink rides the existing node.
+	pA2, err := ivm.PlanView(qA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hA2, err := g.Subscribe(pA2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = g.Stats()
+	if st.Nodes != 5 {
+		t.Fatalf("identical view added nodes: %d, want 5", st.Nodes)
+	}
+	if st.InternHits != 3+4 {
+		t.Fatalf("intern hits = %d, want 7", st.InternHits)
+	}
+
+	// The shared join feeds all three sinks with correct, divergent
+	// downstream content.
+	mu := newMutator(3)
+	for step := 0; step < 15; step++ {
+		tables, mods := mu.step()
+		for i, mod := range mods {
+			applyLive(t, db, tables[i], mod)
+			if err := g.Ingest(tables[i], mod); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, h := range []*ViewHandle{hA, hB, hA2} {
+		if err := h.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantA, err := ivm.New(db, qA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := ivm.New(db, qB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderRows(hA.Result()) != renderRows(wantA.Result()) {
+		t.Fatalf("view A diverged from fresh recompute")
+	}
+	if renderRows(hA2.Result()) != renderRows(wantA.Result()) {
+		t.Fatalf("view A2 diverged from fresh recompute")
+	}
+	if renderRows(hB.Result()) != renderRows(wantB.Result()) {
+		t.Fatalf("view B diverged from fresh recompute")
+	}
+}
+
+// TestReleaseRefcounts proves unsubscribe releases only unshared nodes
+// and the graph is empty after the last view leaves.
+func TestReleaseRefcounts(t *testing.T) {
+	db := testDB(t)
+	g := NewGraph(db)
+	qA := "SELECT st.region, SUM(s.amount) FROM sales AS s, stations AS st WHERE s.station = st.stationkey GROUP BY st.region"
+	qB := "SELECT st.stationkey, COUNT(*) FROM sales AS s, stations AS st WHERE s.station = st.stationkey GROUP BY st.stationkey"
+	qC := "SELECT region, COUNT(*) FROM stations GROUP BY region"
+	var handles []*ViewHandle
+	for _, q := range []string{qA, qB, qC} {
+		p, err := ivm.PlanView(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := g.Subscribe(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// 2 scans + shared join + 3 projections; qC rides scan(stations).
+	if n := g.Stats().Nodes; n != 6 {
+		t.Fatalf("three views built %d nodes, want 6", n)
+	}
+
+	// Releasing B drops only its projection; the shared join and scans
+	// stay for A.
+	g.Release(handles[1])
+	if n := g.Stats().Nodes; n != 5 {
+		t.Fatalf("after releasing B: %d nodes, want 5", n)
+	}
+	if !g.Watches("sales") || !g.Watches("stations") {
+		t.Fatal("shared scans must survive releasing one of their views")
+	}
+
+	// Releasing A drops the join spine; C keeps scan(stations) alive.
+	g.Release(handles[0])
+	if n := g.Stats().Nodes; n != 2 { // scan(stations) + C's project
+		t.Fatalf("after releasing A: %d nodes, want 2", n)
+	}
+	if g.Watches("sales") {
+		t.Fatal("sales scan leaked after its last view released")
+	}
+
+	g.Release(handles[2])
+	st := g.Stats()
+	if st.Nodes != 0 || st.Views != 0 {
+		t.Fatalf("graph not empty after all views released: %+v", st)
+	}
+	if g.Watches("stations") {
+		t.Fatal("stations scan leaked")
+	}
+	if len(g.refs) != 0 {
+		t.Fatalf("refcount map leaked: %v", g.refs)
+	}
+}
+
+// TestCheckpointRecover crashes a handle mid-stream and recovers it
+// from its snapshot plus WAL replay; the recovered view must match an
+// undisturbed control at every subsequent step.
+func TestCheckpointRecover(t *testing.T) {
+	query := equivalenceQueries[1]
+	db := testDB(t)
+	g := NewGraph(db)
+	p := newPair(t, db, g, query)
+	wal := ivm.NewWAL()
+	p.h.AttachWAL(wal)
+	p.h.SetNamespace("test/view")
+	if err := p.h.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu := newMutator(11)
+	drains := rand.New(rand.NewSource(5))
+	step := func(ctx string) {
+		tables, mods := mu.step()
+		for i, mod := range mods {
+			mod.Alias = aliasFor(p.m, tables[i])
+			if err := p.m.Apply(mod); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.g.Ingest(tables[i], mod); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.h.LogArrival(mod); err != nil {
+				t.Fatal(err)
+			}
+		}
+		aliases := p.m.Aliases()
+		alias := aliases[drains.Intn(len(aliases))]
+		pend := p.m.Pending()
+		for i, a := range aliases {
+			if a == alias && pend[i] > 0 {
+				p.drain(alias, 1+drains.Intn(pend[i]))
+			}
+		}
+		p.check(ctx)
+	}
+
+	for i := 0; i < 8; i++ {
+		step(fmt.Sprintf("pre-checkpoint step %d", i))
+	}
+	if err := p.h.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.TruncateThrough(p.h.TipLSN()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		step(fmt.Sprintf("post-checkpoint step %d", i))
+	}
+
+	// Crash: wipe the volatile per-view state and recover.
+	if err := p.h.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	p.check("after recovery")
+	for i := 0; i < 8; i++ {
+		step(fmt.Sprintf("post-recovery step %d", i))
+	}
+}
+
+// TestTrimWatermark garbage-collects retained state below the durable
+// watermark and proves maintenance stays correct afterwards.
+func TestTrimWatermark(t *testing.T) {
+	query := equivalenceQueries[1]
+	db := testDB(t)
+	g := NewGraph(db)
+	p := newPair(t, db, g, query)
+	mu := newMutator(17)
+	drains := rand.New(rand.NewSource(23))
+	step := func(ctx string) {
+		tables, mods := mu.step()
+		for i, mod := range mods {
+			mod.Alias = aliasFor(p.m, tables[i])
+			p.apply(tables[i], mod)
+		}
+		aliases := p.m.Aliases()
+		alias := aliases[drains.Intn(len(aliases))]
+		pend := p.m.Pending()
+		for i, a := range aliases {
+			if a == alias && pend[i] > 0 {
+				p.drain(alias, 1+drains.Intn(pend[i]))
+			}
+		}
+		p.check(ctx)
+	}
+	for i := 0; i < 20; i++ {
+		step(fmt.Sprintf("pre-trim step %d", i))
+	}
+	if err := p.h.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.m.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.h.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	joinEntries := func() int {
+		n := 0
+		for _, nd := range g.nodes {
+			if j, ok := nd.(*joinNode); ok {
+				n += len(j.lstate.entries) + len(j.rstate.entries)
+			}
+		}
+		return n
+	}
+	before := joinEntries()
+	g.Trim(p.h.DurableCursors())
+	after := joinEntries()
+	if after >= before {
+		t.Fatalf("trim did not consolidate join state: %d -> %d entries", before, after)
+	}
+	if n := len(p.h.top.retained()); n != 0 {
+		t.Fatalf("retained log not emptied at full coverage: %d entries", n)
+	}
+	for i := 0; i < 20; i++ {
+		step(fmt.Sprintf("post-trim step %d", i))
+	}
+}
+
+// TestSignatures pins the canonical EXPLAIN surface: alias-insensitive,
+// conjunct-order-insensitive signatures.
+func TestSignatures(t *testing.T) {
+	db := testDB(t)
+	g := NewGraph(db)
+	q1 := "SELECT SUM(s.amount) FROM sales AS s, stations AS st WHERE s.station = st.stationkey AND st.region = 'EAST'"
+	q2 := "SELECT SUM(x.amount) FROM sales AS x, stations AS y WHERE y.region = 'EAST' AND x.station = y.stationkey"
+	p1, err := ivm.PlanView(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ivm.PlanView(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Signatures(p1, g.schemaOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Signatures(p2, g.schemaOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(s1, "\n") != strings.Join(s2, "\n") {
+		t.Fatalf("alias/order-insensitive signatures diverged:\n%v\n%v", s1, s2)
+	}
+	want := "join(scan(sales), filter(scan(stations), [stations.region = 'EAST']), on=[sales.station=stations.stationkey])"
+	found := false
+	for _, s := range s1 {
+		if s == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing canonical join signature %q in %v", want, s1)
+	}
+}

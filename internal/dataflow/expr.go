@@ -1,0 +1,124 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"abivm/internal/sql"
+	"abivm/internal/storage"
+)
+
+// canonicalizer rewrites view expressions into canonical form: every
+// column reference qualified by its base TABLE name (not the view's
+// alias). Two views phrased over different aliases of the same tables
+// then render identical expression strings, which is what makes
+// hash-consed signatures compare structurally. PlanSelect rejects
+// self-joins, so alias→table is a bijection per view and the rewrite is
+// lossless.
+type canonicalizer struct {
+	aliasToTable map[string]string
+	// colOwner maps a column name to the unique table that declares it,
+	// or "" when two tables share the name (unqualified references to it
+	// are then ambiguous, mirroring the planner's binder).
+	colOwner map[string]string
+}
+
+func newCanonicalizer(sources []sourceTable) *canonicalizer {
+	c := &canonicalizer{
+		aliasToTable: make(map[string]string, len(sources)),
+		colOwner:     make(map[string]string, 8),
+	}
+	for _, s := range sources {
+		c.aliasToTable[s.alias] = s.table
+		for _, col := range s.schema.Columns {
+			if owner, ok := c.colOwner[col.Name]; ok && owner != s.table {
+				c.colOwner[col.Name] = ""
+			} else if !ok {
+				c.colOwner[col.Name] = s.table
+			}
+		}
+	}
+	return c
+}
+
+// sourceTable pairs one FROM entry with its resolved schema.
+type sourceTable struct {
+	alias  string
+	table  string
+	schema storage.Schema
+}
+
+// expr returns the canonical rewrite of e. The input is never mutated —
+// rewritten nodes are fresh allocations.
+func (c *canonicalizer) expr(e sql.Expr) (sql.Expr, error) {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		t := x.Table
+		if t == "" {
+			t = c.colOwner[x.Column]
+			if t == "" {
+				return nil, fmt.Errorf("dataflow: column %q is ambiguous or unknown across the view's tables", x.Column)
+			}
+		} else {
+			tbl, ok := c.aliasToTable[t]
+			if !ok {
+				return nil, fmt.Errorf("dataflow: unknown table alias %q", t)
+			}
+			t = tbl
+		}
+		return &sql.ColumnRef{Table: t, Column: x.Column, Pos: x.Pos}, nil
+	case *sql.IntLit, *sql.FloatLit, *sql.StringLit:
+		return e, nil
+	case *sql.BinaryExpr:
+		l, err := c.expr(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.expr(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.BinaryExpr{Op: x.Op, Left: l, Right: r}, nil
+	default:
+		return nil, fmt.Errorf("dataflow: unsupported expression %T in view query", e)
+	}
+}
+
+// exprTables collects the canonical table names referenced by e into
+// set.
+func exprTables(e sql.Expr, set map[string]bool) {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		set[x.Table] = true
+	case *sql.BinaryExpr:
+		exprTables(x.Left, set)
+		exprTables(x.Right, set)
+	}
+}
+
+// tablesOf returns the sorted canonical tables referenced by e.
+func tablesOf(e sql.Expr) []string {
+	set := make(map[string]bool, 2)
+	exprTables(e, set)
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// subset reports whether every element of sub (sorted) appears in super
+// (sorted).
+func subset(sub, super []string) bool {
+	i := 0
+	for _, s := range sub {
+		for i < len(super) && super[i] < s {
+			i++
+		}
+		if i >= len(super) || super[i] != s {
+			return false
+		}
+	}
+	return true
+}

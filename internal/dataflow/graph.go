@@ -1,0 +1,474 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"abivm/internal/exec"
+	"abivm/internal/ivm"
+	"abivm/internal/plan"
+	"abivm/internal/sql"
+	"abivm/internal/storage"
+)
+
+// opKind enumerates the operator kinds of a plan spec.
+type opKind int
+
+const (
+	opScan opKind = iota
+	opFilter
+	opJoin
+	opProject
+)
+
+// opSpec is one operator of a view's canonical plan shape: the
+// side-effect-free description (kind, canonical expressions, signature)
+// computed before any node is built. Subscribe realizes a spec tree
+// into graph nodes, reusing any node whose signature is already
+// interned; Signatures renders the same tree for EXPLAIN output.
+type opSpec struct {
+	kind        opKind
+	sig         string
+	table       string   // opScan
+	conjs       []sql.Expr // opFilter, sorted canonically
+	equiL, equiR []sql.Expr // opJoin equi-key pairs, aligned, sorted canonically
+	residual    []sql.Expr // opJoin non-equi conjuncts, sorted canonically
+	items       []sql.Expr // opProject, in SELECT order
+	left, right *opSpec
+}
+
+// buildSpecs derives the canonical operator tree for a view plan:
+// per-table filters pushed onto their scans, a left-deep join spine in
+// FROM order with conjuncts attached at the lowest covering join
+// (split into equi-key pairs and residuals), and a projection of the
+// delta-query items on top. All expressions are canonicalized
+// (alias→table) so structurally equal sub-plans from different views
+// render identical signatures.
+func buildSpecs(p *ivm.DeltaPlan, schemaOf func(string) (*storage.Schema, error)) (*opSpec, error) {
+	sources := make([]sourceTable, len(p.Sources))
+	for i, s := range p.Sources {
+		sch, err := schemaOf(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = sourceTable{alias: s.Alias, table: s.Table, schema: *sch}
+	}
+	canon := newCanonicalizer(sources)
+
+	type conjunct struct {
+		e        sql.Expr
+		tabs     []string
+		attached bool
+	}
+	conjs := make([]*conjunct, 0, len(p.Delta.Where))
+	for _, w := range p.Delta.Where {
+		cw, err := canon.expr(w)
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, &conjunct{e: cw, tabs: tablesOf(cw)})
+	}
+
+	var cur *opSpec
+	var curTabs []string // sorted canonical tables covered so far
+	for _, src := range sources {
+		leaf := &opSpec{kind: opScan, table: src.table, sig: "scan(" + src.table + ")"}
+		var fc []sql.Expr
+		for _, c := range conjs {
+			if !c.attached && len(c.tabs) == 1 && c.tabs[0] == src.table {
+				fc = append(fc, c.e)
+				c.attached = true
+			}
+		}
+		if len(fc) > 0 {
+			leaf = filterSpec(leaf, fc)
+		}
+		if cur == nil {
+			cur = leaf
+			curTabs = []string{src.table}
+			continue
+		}
+		joinedTabs := append(append([]string(nil), curTabs...), src.table)
+		sort.Strings(joinedTabs)
+		rightTabs := []string{src.table}
+		type equiPair struct {
+			l, r sql.Expr
+			s    string
+		}
+		var pairs []equiPair
+		var residual []sql.Expr
+		for _, c := range conjs {
+			if c.attached || !subset(c.tabs, joinedTabs) {
+				continue
+			}
+			c.attached = true
+			if be, ok := c.e.(*sql.BinaryExpr); ok && be.Op == "=" {
+				lt, rt := tablesOf(be.Left), tablesOf(be.Right)
+				if len(lt) > 0 && len(rt) > 0 {
+					switch {
+					case subset(lt, curTabs) && subset(rt, rightTabs):
+						pairs = append(pairs, equiPair{l: be.Left, r: be.Right, s: be.Left.String() + "=" + be.Right.String()})
+						continue
+					case subset(lt, rightTabs) && subset(rt, curTabs):
+						pairs = append(pairs, equiPair{l: be.Right, r: be.Left, s: be.Right.String() + "=" + be.Left.String()})
+						continue
+					}
+				}
+			}
+			residual = append(residual, c.e)
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].s < pairs[j].s })
+		sortExprs(residual)
+		j := &opSpec{kind: opJoin, left: cur, right: leaf, residual: residual}
+		onStrs := make([]string, len(pairs))
+		for i, pr := range pairs {
+			j.equiL = append(j.equiL, pr.l)
+			j.equiR = append(j.equiR, pr.r)
+			onStrs[i] = pr.s
+		}
+		j.sig = fmt.Sprintf("join(%s, %s, on=[%s]", cur.sig, leaf.sig, strings.Join(onStrs, "; "))
+		if len(residual) > 0 {
+			j.sig += ", where=[" + joinExprs(residual) + "]"
+		}
+		j.sig += ")"
+		cur = j
+		curTabs = joinedTabs
+	}
+
+	// Table-free conjuncts (pure literals) apply once above the spine.
+	var consts []sql.Expr
+	for _, c := range conjs {
+		if !c.attached && len(c.tabs) == 0 {
+			consts = append(consts, c.e)
+			c.attached = true
+		}
+	}
+	if len(consts) > 0 {
+		cur = filterSpec(cur, consts)
+	}
+	for _, c := range conjs {
+		if !c.attached {
+			return nil, fmt.Errorf("dataflow: conjunct %q not attachable to the join spine", c.e.String())
+		}
+	}
+
+	items := make([]sql.Expr, len(p.Delta.Items))
+	strs := make([]string, len(items))
+	for i, it := range p.Delta.Items {
+		ce, err := canon.expr(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = ce
+		strs[i] = ce.String()
+	}
+	return &opSpec{
+		kind:  opProject,
+		left:  cur,
+		items: items,
+		sig:   fmt.Sprintf("project(%s, [%s])", cur.sig, strings.Join(strs, ", ")),
+	}, nil
+}
+
+func filterSpec(child *opSpec, conjs []sql.Expr) *opSpec {
+	sortExprs(conjs)
+	return &opSpec{
+		kind:  opFilter,
+		left:  child,
+		conjs: conjs,
+		sig:   fmt.Sprintf("filter(%s, [%s])", child.sig, joinExprs(conjs)),
+	}
+}
+
+func sortExprs(es []sql.Expr) {
+	sort.Slice(es, func(i, j int) bool { return es[i].String() < es[j].String() })
+}
+
+func joinExprs(es []sql.Expr) string {
+	strs := make([]string, len(es))
+	for i, e := range es {
+		strs[i] = e.String()
+	}
+	return strings.Join(strs, " AND ")
+}
+
+// recordSigs appends the spec subtree's signatures in post-order
+// (children before parents) — the reference-count bookkeeping order.
+func recordSigs(s *opSpec, used *[]string) {
+	if s.left != nil {
+		recordSigs(s.left, used)
+	}
+	if s.right != nil {
+		recordSigs(s.right, used)
+	}
+	*used = append(*used, s.sig)
+}
+
+// Signatures returns the canonical operator signatures of a view plan
+// in post-order (leaves first, projection last) without building any
+// state — the EXPLAIN surface for the shared-dataflow mode, and the
+// identity under which Subscribe hash-conses operators.
+func Signatures(p *ivm.DeltaPlan, schemaOf func(string) (*storage.Schema, error)) ([]string, error) {
+	top, err := buildSpecs(p, schemaOf)
+	if err != nil {
+		return nil, err
+	}
+	var sigs []string
+	recordSigs(top, &sigs)
+	return sigs, nil
+}
+
+// Graph is the shared operator DAG: one set of hash-consed nodes over
+// one live database, fanning out to any number of view sinks. All
+// methods assume external synchronization (the broker's lock), matching
+// the rest of the engine.
+type Graph struct {
+	db    *storage.DB
+	nodes map[string]node
+	refs  map[string]int
+	scans map[string]*scanNode
+	hits  uint64
+	subs  int
+}
+
+// NewGraph builds an empty operator graph over the live database.
+func NewGraph(db *storage.DB) *Graph {
+	return &Graph{
+		db:    db,
+		nodes: make(map[string]node),
+		refs:  make(map[string]int),
+		scans: make(map[string]*scanNode),
+	}
+}
+
+func (g *Graph) schemaOf(table string) (*storage.Schema, error) {
+	tbl, err := g.db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return tbl.Schema(), nil
+}
+
+// Subscribe compiles a view plan into the graph — reusing every
+// operator whose canonical signature is already interned, creating and
+// wiring the rest — attaches a sink, computes the view's initial
+// content from the live database, and returns the handle. Each node in
+// the view's plan gains one reference; Release returns them.
+func (g *Graph) Subscribe(p *ivm.DeltaPlan) (*ViewHandle, error) {
+	top, err := buildSpecs(p, g.schemaOf)
+	if err != nil {
+		return nil, err
+	}
+	var used []string
+	n, err := g.realize(top, &used)
+	if err != nil {
+		g.sweepUnreferenced(used)
+		return nil, err
+	}
+	h, err := newViewHandle(g, p, n, used)
+	if err != nil {
+		g.sweepUnreferenced(used)
+		return nil, err
+	}
+	for _, sig := range used {
+		g.refs[sig]++
+	}
+	n.attachSink(h)
+	g.subs++
+	return h, nil
+}
+
+// realize returns the node for a spec, creating it (and recursively its
+// children) unless its signature is already interned. used collects the
+// post-order signatures of the whole subtree either way.
+func (g *Graph) realize(s *opSpec, used *[]string) (node, error) {
+	if existing, ok := g.nodes[s.sig]; ok {
+		before := len(*used)
+		recordSigs(s, used)
+		g.hits += uint64(len(*used) - before)
+		return existing, nil
+	}
+	var n node
+	switch s.kind {
+	case opScan:
+		tbl, err := g.db.Table(s.table)
+		if err != nil {
+			return nil, err
+		}
+		sc := newScanNode(s.sig, tbl)
+		g.scans[s.table] = sc
+		n = sc
+	case opFilter:
+		child, err := g.realize(s.left, used)
+		if err != nil {
+			return nil, err
+		}
+		preds := make([]exec.Predicate, len(s.conjs))
+		for i, e := range s.conjs {
+			preds[i], err = plan.BindPredicate(e, child.cols())
+			if err != nil {
+				return nil, err
+			}
+		}
+		n = newFilterNode(s.sig, child, preds)
+	case opJoin:
+		left, err := g.realize(s.left, used)
+		if err != nil {
+			return nil, err
+		}
+		right, err := g.realize(s.right, used)
+		if err != nil {
+			return nil, err
+		}
+		lkeys := make([]exec.Scalar, len(s.equiL))
+		rkeys := make([]exec.Scalar, len(s.equiR))
+		for i := range s.equiL {
+			if lkeys[i], _, err = plan.BindScalar(s.equiL[i], left.cols()); err != nil {
+				return nil, err
+			}
+			if rkeys[i], _, err = plan.BindScalar(s.equiR[i], right.cols()); err != nil {
+				return nil, err
+			}
+		}
+		cols := make([]exec.Col, 0, len(left.cols())+len(right.cols()))
+		cols = append(cols, left.cols()...)
+		cols = append(cols, right.cols()...)
+		residual := make([]exec.Predicate, len(s.residual))
+		for i, e := range s.residual {
+			if residual[i], err = plan.BindPredicate(e, cols); err != nil {
+				return nil, err
+			}
+		}
+		n = newJoinNode(s.sig, left, right, lkeys, rkeys, residual, cols)
+	case opProject:
+		child, err := g.realize(s.left, used)
+		if err != nil {
+			return nil, err
+		}
+		scalars := make([]exec.Scalar, len(s.items))
+		cols := make([]exec.Col, len(s.items))
+		for i, e := range s.items {
+			sc, typ, err := plan.BindScalar(e, child.cols())
+			if err != nil {
+				return nil, err
+			}
+			scalars[i] = sc
+			cols[i] = exec.Col{Name: fmt.Sprintf("c%d", i), Type: typ}
+		}
+		n = newProjectNode(s.sig, child, scalars, cols)
+	default:
+		return nil, fmt.Errorf("dataflow: unknown operator kind %d", s.kind)
+	}
+	g.nodes[s.sig] = n
+	*used = append(*used, s.sig)
+	return n, nil
+}
+
+// sweepUnreferenced removes nodes created by a failed Subscribe before
+// any reference was taken, parents before children.
+func (g *Graph) sweepUnreferenced(used []string) {
+	for i := len(used) - 1; i >= 0; i-- {
+		sig := used[i]
+		if g.refs[sig] > 0 {
+			continue
+		}
+		if n, ok := g.nodes[sig]; ok {
+			g.drop(sig, n)
+		}
+	}
+}
+
+func (g *Graph) drop(sig string, n node) {
+	n.detach()
+	delete(g.nodes, sig)
+	delete(g.refs, sig)
+	if sc, ok := n.(*scanNode); ok {
+		delete(g.scans, sc.tableName)
+	}
+}
+
+// Release detaches a view's sink and returns its node references,
+// dropping (parents before children) every node whose count reaches
+// zero. Shared nodes survive untouched.
+func (g *Graph) Release(h *ViewHandle) {
+	h.top.detachSink(h)
+	for i := len(h.sigs) - 1; i >= 0; i-- {
+		sig := h.sigs[i]
+		g.refs[sig]--
+		if g.refs[sig] > 0 {
+			continue
+		}
+		if n, ok := g.nodes[sig]; ok {
+			g.drop(sig, n)
+		}
+	}
+	g.subs--
+}
+
+// Watches reports whether any subscribed view reads the table.
+func (g *Graph) Watches(table string) bool {
+	_, ok := g.scans[table]
+	return ok
+}
+
+// Ingest feeds one base-table modification into the table's scan node,
+// propagating the resulting deltas through the whole shared graph (all
+// views' pending sets) in one pass.
+func (g *Graph) Ingest(table string, mod ivm.Mod) error {
+	sc, ok := g.scans[table]
+	if !ok {
+		return fmt.Errorf("dataflow: no subscribed view reads table %q", table)
+	}
+	return sc.ingest(mod)
+}
+
+// LogLen returns the table's ingest-log length (the coordinate a
+// brand-new subscriber starts fully covered at), or 0 when untracked.
+func (g *Graph) LogLen(table string) uint64 {
+	sc, ok := g.scans[table]
+	if !ok {
+		return 0
+	}
+	return sc.mods
+}
+
+// Trim garbage-collects retained state below the durability watermark:
+// wm maps each table to the minimum checkpoint-covered cursor across
+// all views reading it. Retained output-log entries fully below the
+// watermark are dropped, and join-side entries fully below it are
+// consolidated into net base entries.
+func (g *Graph) Trim(wm map[string]uint64) {
+	sigs := make([]string, 0, len(g.nodes))
+	for sig := range g.nodes {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		g.nodes[sig].trim(wm)
+	}
+}
+
+// GraphStats is the observable shape of the shared graph.
+type GraphStats struct {
+	// Nodes is the number of live operators; Views the number of
+	// attached sinks. InternHits counts operators reused instead of
+	// created across all Subscribe calls so far — the sharing win.
+	Nodes      int
+	Views      int
+	InternHits uint64
+	// MaxFanout is the widest downstream edge count of any operator
+	// (operator edges plus sinks).
+	MaxFanout int
+}
+
+// Stats snapshots the graph shape.
+func (g *Graph) Stats() GraphStats {
+	st := GraphStats{Nodes: len(g.nodes), Views: g.subs, InternHits: g.hits}
+	for _, n := range g.nodes {
+		if f := n.fanout(); f > st.MaxFanout {
+			st.MaxFanout = f
+		}
+	}
+	return st
+}

@@ -1,0 +1,515 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"abivm/internal/exec"
+	"abivm/internal/ivm"
+	"abivm/internal/storage"
+)
+
+// receiver consumes deltas emitted by an upstream node. Operator nodes
+// are receivers (join inputs through port wrappers), and so are view
+// sinks (ViewHandle).
+type receiver interface {
+	onDelta(d Delta)
+}
+
+// node is one operator in the shared graph. Rows inside deltas are
+// immutable by convention — cloned once on scan ingest, shared freely
+// downstream — so retained logs and join states may alias them.
+type node interface {
+	// sig is the canonical structural signature; nodes with equal
+	// signatures compute identical functions of the base tables and are
+	// hash-consed into one instance.
+	sig() string
+	// tables returns the base tables of the node's output in coordinate
+	// order (left-deep FROM order).
+	tables() []string
+	// cols returns the output schema for binding parent expressions.
+	cols() []exec.Col
+	// current returns a deterministic snapshot of the node's present
+	// output as net weighted rows — the seed for newly created parents,
+	// which treat it as covered-at-creation (coordinate zero).
+	current() []weightedRow
+	// addOut / removeOut manage downstream operator edges; attachSink /
+	// detachSink manage view sinks (which additionally turn on output
+	// retention for crash recovery).
+	addOut(r receiver)
+	removeOut(r receiver)
+	attachSink(r receiver)
+	detachSink(r receiver)
+	// detach unlinks the node from its children; called when the node's
+	// reference count drops to zero.
+	detach()
+	// fanout is the number of downstream consumers (edges + sinks).
+	fanout() int
+	// retained returns the retained output log (nil unless a sink ever
+	// attached); trim discards retained/stored deltas whose coordinates
+	// are all covered by the per-table watermark.
+	retained() []Delta
+	trim(wm map[string]uint64)
+}
+
+// nodeBase carries the shared node mechanics: identity, schema, the
+// downstream edge list, and the sink-driven retained output log.
+type nodeBase struct {
+	signature string
+	tabs      []string
+	schema    []exec.Col
+	outs      []receiver
+	sinks     int
+	retain    bool
+	log       []Delta
+}
+
+func (n *nodeBase) sig() string        { return n.signature }
+func (n *nodeBase) tables() []string   { return n.tabs }
+func (n *nodeBase) cols() []exec.Col   { return n.schema }
+func (n *nodeBase) fanout() int        { return len(n.outs) }
+func (n *nodeBase) retained() []Delta  { return n.log }
+func (n *nodeBase) addOut(r receiver)  { n.outs = append(n.outs, r) }
+func (n *nodeBase) removeOut(r receiver) {
+	for i, o := range n.outs {
+		if o == r {
+			n.outs = append(n.outs[:i], n.outs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (n *nodeBase) attachSink(r receiver) {
+	n.addOut(r)
+	n.sinks++
+	n.retain = true
+}
+
+func (n *nodeBase) detachSink(r receiver) {
+	n.removeOut(r)
+	n.sinks--
+}
+
+// emit forwards one delta to every consumer in attachment order
+// (deterministic: subscription order) and retains it when a sink
+// depends on this node for crash recovery.
+func (n *nodeBase) emit(d Delta) {
+	if n.retain {
+		n.log = append(n.log, d)
+	}
+	for _, o := range n.outs {
+		o.onDelta(d)
+	}
+}
+
+// trimLog drops retained deltas fully covered by the watermark — every
+// live view's durable cursors are at or above wm, so no recovery will
+// ever need them again.
+func (n *nodeBase) trimLog(wm map[string]uint64) {
+	if len(n.log) == 0 {
+		return
+	}
+	kept := n.log[:0]
+	for _, d := range n.log {
+		if !d.Coord.coveredBy(n.tabs, wm) {
+			kept = append(kept, d)
+		}
+	}
+	for i := len(kept); i < len(n.log); i++ {
+		n.log[i] = Delta{}
+	}
+	n.log = kept
+}
+
+// scanNode is a base-table source. It mirrors the live table (base
+// snapshot plus every ingested modification) so deletes and updates can
+// resolve the old row, and stamps each emitted delta with the 1-based
+// ingest sequence number as its coordinate.
+type scanNode struct {
+	nodeBase
+	tableName string
+	keyCols   []int
+	state     map[string]storage.Row
+	mods      uint64
+}
+
+func newScanNode(sig string, tbl *storage.Table) *scanNode {
+	schema := tbl.Schema()
+	cols := make([]exec.Col, len(schema.Columns))
+	for i, c := range schema.Columns {
+		cols[i] = exec.Col{Table: schema.Name, Name: c.Name, Type: c.Type}
+	}
+	s := &scanNode{
+		nodeBase: nodeBase{
+			signature: sig,
+			tabs:      []string{schema.Name},
+			schema:    cols,
+		},
+		tableName: schema.Name,
+		keyCols:   schema.Key,
+		state:     make(map[string]storage.Row, tbl.Len()),
+	}
+	tbl.Scan(func(r storage.Row) bool {
+		row := r.Clone()
+		s.state[storage.EncodeKey(row.Project(s.keyCols)...)] = row
+		return true
+	})
+	return s
+}
+
+func (s *scanNode) detach() {}
+
+// ingest converts one base-table modification into signed deltas and
+// propagates them. The coordinate is the modification's position on the
+// table's ingest log; an update emits its retraction and insertion
+// under the same coordinate, so views always fold both or neither.
+func (s *scanNode) ingest(mod ivm.Mod) error {
+	seq := s.mods + 1
+	switch mod.Kind {
+	case ivm.ModInsert:
+		row := mod.Row.Clone()
+		key := storage.EncodeKey(row.Project(s.keyCols)...)
+		if _, ok := s.state[key]; ok {
+			return fmt.Errorf("dataflow: insert over existing key on %q", s.tableName)
+		}
+		s.mods = seq
+		s.state[key] = row
+		s.emit(Delta{Row: row, W: 1, Coord: Coord{seq}})
+	case ivm.ModDelete:
+		key := storage.EncodeKey(mod.Key...)
+		old, ok := s.state[key]
+		if !ok {
+			return fmt.Errorf("dataflow: delete of missing key on %q", s.tableName)
+		}
+		s.mods = seq
+		delete(s.state, key)
+		s.emit(Delta{Row: old, W: -1, Coord: Coord{seq}})
+	case ivm.ModUpdate:
+		key := storage.EncodeKey(mod.Key...)
+		old, ok := s.state[key]
+		if !ok {
+			return fmt.Errorf("dataflow: update of missing key on %q", s.tableName)
+		}
+		row := mod.Row.Clone()
+		if storage.EncodeKey(row.Project(s.keyCols)...) != key {
+			return fmt.Errorf("dataflow: update must not change the primary key on %q", s.tableName)
+		}
+		s.mods = seq
+		s.state[key] = row
+		s.emit(Delta{Row: old, W: -1, Coord: Coord{seq}})
+		s.emit(Delta{Row: row, W: 1, Coord: Coord{seq}})
+	default:
+		return fmt.Errorf("dataflow: unknown modification kind %d", mod.Kind)
+	}
+	return nil
+}
+
+func (s *scanNode) current() []weightedRow {
+	keys := make([]string, 0, len(s.state))
+	for k := range s.state {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]weightedRow, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, weightedRow{row: s.state[k], w: 1})
+	}
+	return out
+}
+
+func (s *scanNode) trim(wm map[string]uint64) { s.trimLog(wm) }
+
+// filterNode applies a conjunction of predicates.
+type filterNode struct {
+	nodeBase
+	child node
+	preds []exec.Predicate
+}
+
+func newFilterNode(sig string, child node, preds []exec.Predicate) *filterNode {
+	f := &filterNode{
+		nodeBase: nodeBase{
+			signature: sig,
+			tabs:      child.tables(),
+			schema:    child.cols(),
+		},
+		child: child,
+		preds: preds,
+	}
+	child.addOut(f)
+	return f
+}
+
+func (f *filterNode) pass(r storage.Row) bool {
+	for _, p := range f.preds {
+		if !p(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *filterNode) onDelta(d Delta) {
+	if f.pass(d.Row) {
+		f.emit(d)
+	}
+}
+
+func (f *filterNode) current() []weightedRow {
+	var out []weightedRow
+	for _, wr := range f.child.current() {
+		if f.pass(wr.row) {
+			out = append(out, wr)
+		}
+	}
+	return out
+}
+
+func (f *filterNode) detach()                  { f.child.removeOut(f) }
+func (f *filterNode) trim(wm map[string]uint64) { f.trimLog(wm) }
+
+// projectNode evaluates scalar select items.
+type projectNode struct {
+	nodeBase
+	child   node
+	scalars []exec.Scalar
+}
+
+func newProjectNode(sig string, child node, scalars []exec.Scalar, cols []exec.Col) *projectNode {
+	p := &projectNode{
+		nodeBase: nodeBase{
+			signature: sig,
+			tabs:      child.tables(),
+			schema:    cols,
+		},
+		child:   child,
+		scalars: scalars,
+	}
+	child.addOut(p)
+	return p
+}
+
+func (p *projectNode) project(r storage.Row) storage.Row {
+	out := make(storage.Row, len(p.scalars))
+	for i, s := range p.scalars {
+		out[i] = s(r)
+	}
+	return out
+}
+
+func (p *projectNode) onDelta(d Delta) {
+	p.emit(Delta{Row: p.project(d.Row), W: d.W, Coord: d.Coord})
+}
+
+func (p *projectNode) current() []weightedRow {
+	var out []weightedRow
+	for _, wr := range p.child.current() {
+		out = append(out, weightedRow{row: p.project(wr.row), w: wr.w})
+	}
+	return out
+}
+
+func (p *projectNode) detach()                  { p.child.removeOut(p) }
+func (p *projectNode) trim(wm map[string]uint64) { p.trimLog(wm) }
+
+// port disambiguates which input of a binary join a delta arrives on.
+type port struct {
+	j    *joinNode
+	left bool
+}
+
+func (p *port) onDelta(d Delta) { p.j.onSide(p.left, d) }
+
+// stateEntry is one retained input delta of a join side: the row, its
+// attribution, and its signed weight. Entries fully covered by the GC
+// watermark are consolidated into net coordinate-zero entries by trim.
+type stateEntry struct {
+	row   storage.Row
+	coord Coord
+	w     int64
+}
+
+// sideState is one join input's retained history plus a hash index on
+// the equi-join key.
+type sideState struct {
+	entries []stateEntry
+	index   map[string][]int
+}
+
+func (s *sideState) add(e stateEntry, key string) {
+	s.index[key] = append(s.index[key], len(s.entries))
+	s.entries = append(s.entries, e)
+}
+
+// joinNode is a binary equi-join with optional residual predicates over
+// the concatenated row. Delta rule: a delta on one side joins the other
+// side's full retained state (including negative-weight entries), THEN
+// is appended to its own side — each (left, right) pair is produced
+// exactly once, when the later of its two inputs arrives.
+type joinNode struct {
+	nodeBase
+	left, right         node
+	leftPort, rightPort *port
+	lkeys, rkeys        []exec.Scalar
+	residual            []exec.Predicate
+	lstate, rstate      sideState
+}
+
+func newJoinNode(sig string, left, right node, lkeys, rkeys []exec.Scalar, residual []exec.Predicate, cols []exec.Col) *joinNode {
+	tabs := make([]string, 0, len(left.tables())+len(right.tables()))
+	tabs = append(tabs, left.tables()...)
+	tabs = append(tabs, right.tables()...)
+	j := &joinNode{
+		nodeBase: nodeBase{
+			signature: sig,
+			tabs:      tabs,
+			schema:    cols,
+		},
+		left:     left,
+		right:    right,
+		lkeys:    lkeys,
+		rkeys:    rkeys,
+		residual: residual,
+		lstate:   sideState{index: make(map[string][]int)},
+		rstate:   sideState{index: make(map[string][]int)},
+	}
+	j.leftPort = &port{j: j, left: true}
+	j.rightPort = &port{j: j, left: false}
+	// Seed each side from the child's present output: the new node (and
+	// the one new view behind it) treats everything already there as
+	// covered at creation.
+	for _, wr := range left.current() {
+		j.lstate.add(stateEntry{row: wr.row, coord: make(Coord, len(left.tables())), w: wr.w}, j.key(j.lkeys, wr.row))
+	}
+	for _, wr := range right.current() {
+		j.rstate.add(stateEntry{row: wr.row, coord: make(Coord, len(right.tables())), w: wr.w}, j.key(j.rkeys, wr.row))
+	}
+	left.addOut(j.leftPort)
+	right.addOut(j.rightPort)
+	return j
+}
+
+func (j *joinNode) key(fns []exec.Scalar, r storage.Row) string {
+	vals := make([]storage.Value, len(fns))
+	for i, fn := range fns {
+		vals[i] = fn(r)
+	}
+	return storage.EncodeKey(vals...)
+}
+
+func (j *joinNode) pass(r storage.Row) bool {
+	for _, p := range j.residual {
+		if !p(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *joinNode) onSide(left bool, d Delta) {
+	var own, other *sideState
+	var ownKeys []exec.Scalar
+	if left {
+		own, other, ownKeys = &j.lstate, &j.rstate, j.lkeys
+	} else {
+		own, other, ownKeys = &j.rstate, &j.lstate, j.rkeys
+	}
+	key := j.key(ownKeys, d.Row)
+	for _, idx := range other.index[key] {
+		e := other.entries[idx]
+		var row storage.Row
+		var coord Coord
+		if left {
+			row = concatRows(d.Row, e.row)
+			coord = concatCoords(d.Coord, e.coord)
+		} else {
+			row = concatRows(e.row, d.Row)
+			coord = concatCoords(e.coord, d.Coord)
+		}
+		if !j.pass(row) {
+			continue
+		}
+		j.emit(Delta{Row: row, W: d.W * e.w, Coord: coord})
+	}
+	own.add(stateEntry{row: d.Row, coord: d.Coord, w: d.W}, key)
+}
+
+func (j *joinNode) current() []weightedRow {
+	var out []weightedRow
+	for _, le := range j.lstate.entries {
+		key := j.key(j.lkeys, le.row)
+		for _, idx := range j.rstate.index[key] {
+			re := j.rstate.entries[idx]
+			row := concatRows(le.row, re.row)
+			if !j.pass(row) {
+				continue
+			}
+			out = append(out, weightedRow{row: row, w: le.w * re.w})
+		}
+	}
+	return out
+}
+
+func (j *joinNode) detach() {
+	j.left.removeOut(j.leftPort)
+	j.right.removeOut(j.rightPort)
+}
+
+func (j *joinNode) trim(wm map[string]uint64) {
+	j.trimLog(wm)
+	j.lstate.consolidate(j.left.tables(), wm, j.lkeys, j.key)
+	j.rstate.consolidate(j.right.tables(), wm, j.rkeys, j.key)
+}
+
+// consolidate nets every state entry fully covered by the watermark
+// into a single coordinate-zero base entry per distinct row (dropping
+// rows whose weights cancel), keeping uncovered entries verbatim. Safe
+// because every live cursor is at or above the watermark and new
+// subscribers start fully covered — nobody can ever distinguish a
+// covered entry's coordinate from zero again.
+func (s *sideState) consolidate(tabs []string, wm map[string]uint64, keyFns []exec.Scalar, keyOf func([]exec.Scalar, storage.Row) string) {
+	covered := 0
+	for _, e := range s.entries {
+		if e.coord.coveredBy(tabs, wm) {
+			covered++
+		}
+	}
+	if covered == 0 {
+		return
+	}
+	type baseEntry struct {
+		row storage.Row
+		w   int64
+	}
+	net := make(map[string]*baseEntry, covered)
+	order := make([]string, 0, covered)
+	var live []stateEntry
+	for _, e := range s.entries {
+		if !e.coord.coveredBy(tabs, wm) {
+			live = append(live, e)
+			continue
+		}
+		rk := storage.EncodeKey(e.row...)
+		b, ok := net[rk]
+		if !ok {
+			b = &baseEntry{row: e.row}
+			net[rk] = b
+			order = append(order, rk)
+		}
+		b.w += e.w
+	}
+	sort.Strings(order)
+	rebuilt := sideState{index: make(map[string][]int)}
+	zero := make(Coord, len(tabs))
+	for _, rk := range order {
+		b := net[rk]
+		if b.w == 0 {
+			continue
+		}
+		rebuilt.add(stateEntry{row: b.row, coord: zero, w: b.w}, keyOf(keyFns, b.row))
+	}
+	for _, e := range live {
+		rebuilt.add(e, keyOf(keyFns, e.row))
+	}
+	*s = rebuilt
+}

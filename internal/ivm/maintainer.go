@@ -3,7 +3,6 @@ package ivm
 import (
 	"bytes"
 	"fmt"
-	"sort"
 	"time"
 
 	"abivm/internal/exec"
@@ -29,16 +28,10 @@ type Maintainer struct {
 	tables  map[string]string // alias -> table name
 	deltas  map[string][]Mod
 
-	// Aggregate views.
-	isAgg    bool
-	gbCount  int
-	aggKinds []exec.AggKind // per aggregate item, in select order
-	itemRefs []itemRef      // select item -> group col or aggregate index
-	groups   map[string]*groupState
+	// view is the foldable content: the bag (SPJ) or per-group aggregate
+	// states, shared with the dataflow runtime (see viewstate.go).
+	view     *ViewState
 	deltaSel *sql.Select // join query emitting (group cols..., agg args...)
-
-	// Select-project-join views: multiplicity bag keyed by encoded row.
-	bag map[string]*bagEntry
 
 	// Fault-tolerance hooks: an optional redo log of arrivals and drain
 	// commits, and an optional fault injector consulted at the drain
@@ -114,13 +107,8 @@ func newSkeleton(live *storage.DB, query string) (*Maintainer, error) {
 		plan:     p,
 		tables:   make(map[string]string),
 		deltas:   make(map[string][]Mod),
-		groups:   make(map[string]*groupState),
-		bag:      make(map[string]*bagEntry),
 		dirty:    make(map[string]storage.KeySet),
-		isAgg:    p.Aggregate,
-		gbCount:  p.GroupCols,
-		aggKinds: p.aggKinds,
-		itemRefs: p.itemRefs,
+		view:     NewViewState(p, nil),
 		deltaSel: p.Delta,
 	}
 	for _, s := range p.Sources {
@@ -187,6 +175,7 @@ func (m *Maintainer) Stats() *storage.Stats { return m.stats }
 func (m *Maintainer) buildReplicas() error {
 	m.replica = storage.NewDB()
 	m.stats = m.replica.Stats()
+	m.view.SetStats(m.stats)
 	for _, alias := range m.aliases {
 		src, err := m.live.Table(m.tables[alias])
 		if err != nil {
@@ -555,67 +544,10 @@ func (m *Maintainer) deltaJoin(alias string, repl *storage.Table, rows []storage
 
 // addRows folds delta rows (group cols + agg args, or plain view rows)
 // into the view state.
-func (m *Maintainer) addRows(rows []storage.Row) {
-	for _, r := range rows {
-		m.stats.RowsMaterial++
-		if !m.isAgg {
-			key := storage.EncodeKey(r...)
-			e, ok := m.bag[key]
-			if !ok {
-				e = &bagEntry{row: r}
-				m.bag[key] = e
-			}
-			e.count++
-			continue
-		}
-		key := storage.EncodeKey(r[:m.gbCount]...)
-		g, ok := m.groups[key]
-		if !ok {
-			g = &groupState{keyVals: r[:m.gbCount].Clone(), aggs: make([]aggState, len(m.aggKinds))}
-			for i, kind := range m.aggKinds {
-				g.aggs[i] = newAggState(kind)
-			}
-			m.groups[key] = g
-		}
-		g.count++
-		for i := range g.aggs {
-			g.aggs[i].add(r[m.gbCount+i], m.stats)
-		}
-	}
-}
+func (m *Maintainer) addRows(rows []storage.Row) { m.view.Add(rows) }
 
 // removeRows retracts delta rows from the view state.
-func (m *Maintainer) removeRows(rows []storage.Row) {
-	for _, r := range rows {
-		m.stats.RowsMaterial++
-		if !m.isAgg {
-			key := storage.EncodeKey(r...)
-			e, ok := m.bag[key]
-			if !ok || e.count <= 0 {
-				panic("ivm: retracting a row absent from the view bag")
-			}
-			e.count--
-			if e.count == 0 {
-				delete(m.bag, key)
-			}
-			continue
-		}
-		key := storage.EncodeKey(r[:m.gbCount]...)
-		g, ok := m.groups[key]
-		if !ok {
-			panic("ivm: retracting from a missing group")
-		}
-		g.count--
-		for i := range g.aggs {
-			g.aggs[i].remove(r[m.gbCount+i], m.stats)
-		}
-		if g.count == 0 {
-			delete(m.groups, key)
-		} else if g.count < 0 {
-			panic("ivm: negative group count")
-		}
-	}
-}
+func (m *Maintainer) removeRows(rows []storage.Row) { m.view.Remove(rows) }
 
 // Refresh processes every pending delta, one full batch per table in
 // alias order, bringing the view fully up to date.
@@ -634,52 +566,7 @@ func (m *Maintainer) Refresh() error {
 // sorted by group key (aggregate views) or encoded row (SPJ views, with
 // multiplicities expanded). The layout matches what executing the view
 // query through the planner produces, enabling direct comparison.
-func (m *Maintainer) Result() []storage.Row {
-	if m.isAgg {
-		keys := make([]string, 0, len(m.groups))
-		for k := range m.groups {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		out := make([]storage.Row, 0, len(keys))
-		for _, k := range keys {
-			g := m.groups[k]
-			row := make(storage.Row, len(m.itemRefs))
-			for i, ref := range m.itemRefs {
-				if ref.aggIdx >= 0 {
-					row[i] = g.aggs[ref.aggIdx].result(g.count)
-				} else {
-					row[i] = g.keyVals[ref.groupIdx]
-				}
-			}
-			out = append(out, row)
-		}
-		// Grand aggregate over an empty state: one row of empty aggregate
-		// values, mirroring exec.HashAgg.
-		if len(out) == 0 && m.gbCount == 0 {
-			row := make(storage.Row, len(m.itemRefs))
-			for i, ref := range m.itemRefs {
-				empty := newAggState(m.aggKinds[ref.aggIdx])
-				row[i] = empty.result(0)
-			}
-			out = append(out, row)
-		}
-		return out
-	}
-	keys := make([]string, 0, len(m.bag))
-	for k := range m.bag {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var out []storage.Row
-	for _, k := range keys {
-		e := m.bag[k]
-		for i := int64(0); i < e.count; i++ {
-			out = append(out, e.row)
-		}
-	}
-	return out
-}
+func (m *Maintainer) Result() []storage.Row { return m.view.Result() }
 
 // RecomputeFresh evaluates the view query from scratch against the live
 // base tables (the ground truth after all pending modifications). The

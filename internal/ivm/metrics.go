@@ -140,6 +140,26 @@ func (ms *Metrics) ObserveRecoveryFallback() {
 	ms.RecoveryFallbacks.Inc()
 }
 
+// ObserveDrain records one drain (ProcessBatch) outcome on behalf of an
+// external view runtime (internal/dataflow), which owns its drain path
+// but reports through the maintainer bundle so classic and shared modes
+// share one set of series.
+func (ms *Metrics) ObserveDrain(elapsed time.Duration, k int, err error) {
+	ms.observeDrain(elapsed, k, err)
+}
+
+// ObserveCheckpoint records one successful checkpoint taken by an
+// external view runtime.
+func (ms *Metrics) ObserveCheckpoint(elapsed time.Duration, bytes int) {
+	ms.observeCheckpoint(elapsed, bytes)
+}
+
+// ObserveRecovery records one successful recovery by an external view
+// runtime with the replayed record count.
+func (ms *Metrics) ObserveRecovery(replayed int) {
+	ms.observeRecovery(replayed)
+}
+
 // observeDrain records one ProcessBatch outcome.
 func (ms *Metrics) observeDrain(elapsed time.Duration, k int, err error) {
 	if ms == nil {

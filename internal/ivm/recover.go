@@ -147,6 +147,7 @@ func recoverMaintainer(live *storage.DB, query, wantNS string, checkNS bool, cp 
 	}
 	m.replica = replica
 	m.stats = replica.Stats()
+	m.view.SetStats(m.stats)
 	for _, alias := range m.aliases {
 		if _, err := replica.Table(m.tables[alias]); err != nil {
 			return nil, fmt.Errorf("ivm: checkpoint is missing replica of %q: %w", alias, err)

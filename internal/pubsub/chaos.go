@@ -48,6 +48,13 @@ type ChaosConfig struct {
 	// CompactEvery is the scheduled chain-compaction cadence (in steps)
 	// of the compacted variant; <= 0 derives it from the seed (3..7).
 	CompactEvery int
+	// Shared adds two shared-dataflow variants: the whole workload re-run
+	// on the shared operator-graph runtime (SetSharedDataflow), once
+	// fault-free and once faulted. Both must stay byte-identical to the
+	// classic per-maintainer baseline — the fault-free comparison proves
+	// the hash-consed graph computes the same views, the faulted one that
+	// snapshot+WAL recovery on the shared runtime is an exact redo.
+	Shared bool
 	// Disk adds a disk-backed variant: the faulted run is repeated with
 	// every subscription's WAL and checkpoint segments living in files,
 	// so injected crashes recover through the corruption-hardened disk
@@ -210,7 +217,7 @@ func regionQuery(region string) string {
 // and (for a non-nil opener) the aggregated durability counters. The
 // retry jitter is seeded from the same seed as the workload, so the
 // backoff sequence is part of the reproducible execution, not noise.
-func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery, chainDepth, compactEvery int, opener durable.Opener) (transcript, finals string, degraded int, stats durable.Stats, err error) {
+func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery, chainDepth, compactEvery int, opener durable.Opener, shared bool) (transcript, finals string, degraded int, stats durable.Stats, err error) {
 	db, err := chaosDB()
 	if err != nil {
 		return "", "", 0, stats, err
@@ -222,6 +229,11 @@ func chaosRun(script [][]chaosEvent, seed int64, inj fault.Injector, cpEvery, ch
 	b.SetCheckpointChainDepth(chainDepth)
 	if opener != nil {
 		b.SetStoreOpener(opener)
+	}
+	if shared {
+		if err := b.SetSharedDataflow(true); err != nil {
+			return "", "", 0, stats, err
+		}
 	}
 	if inj != nil {
 		b.SetInjector(inj)
@@ -288,7 +300,7 @@ const chaosSampleEvery = 10
 // cost and pending vector into the transcript — reading them without the
 // quiesce would race the shard workers mid-drain and make the sample
 // depend on scheduling, exactly the bug the quiesce exists to prevent.
-func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec WorkloadSpec, factory func(int) fault.Injector, cpEvery, chainDepth, compactEvery int, opener durable.Opener) (transcript, finals string, degraded int, stats durable.Stats, err error) {
+func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec WorkloadSpec, factory func(int) fault.Injector, cpEvery, chainDepth, compactEvery int, opener durable.Opener, shared bool) (transcript, finals string, degraded int, stats durable.Stats, err error) {
 	db, err := chaosDBSpec(spec)
 	if err != nil {
 		return "", "", 0, stats, err
@@ -301,6 +313,11 @@ func chaosRunSharded(script [][]chaosEvent, seed int64, shards int, spec Workloa
 	sb.SetCheckpointChainDepth(chainDepth)
 	if opener != nil {
 		sb.SetStoreOpener(opener)
+	}
+	if shared {
+		if err := sb.SetSharedDataflow(true); err != nil {
+			return "", "", 0, stats, err
+		}
 	}
 	if factory != nil {
 		sb.SetInjectors(factory)
@@ -431,7 +448,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	// fault-free run's observable output must not depend on checkpoint
 	// layout at all, so comparing it against every variant also proves
 	// compaction alone perturbs nothing.
-	baseT, baseF, _, _, err := chaosRun(script, cfg.Seed, nil, cfg.CheckpointEvery, depth, compactEvery, nil)
+	baseT, baseF, _, _, err := chaosRun(script, cfg.Seed, nil, cfg.CheckpointEvery, depth, compactEvery, nil, false)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d: baseline run: %w", cfg.Seed, err)
 	}
@@ -463,7 +480,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	for _, v := range variants {
 		rep.Variants = append(rep.Variants, v.name)
 		inj := fault.NewSeeded(cfg.Seed, cfg.Rates)
-		faultT, faultF, degraded, _, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery, v.depth, v.compactEvery, v.opener)
+		faultT, faultF, degraded, _, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery, v.depth, v.compactEvery, v.opener, false)
 		if err != nil {
 			return nil, fmt.Errorf("chaos seed %d: %s run: %w", cfg.Seed, v.name, err)
 		}
@@ -481,13 +498,39 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			}
 		}
 	}
+	if cfg.Shared {
+		// Shared-dataflow variants: the same workload on the hash-consed
+		// operator graph. Fault-free first (runtime equivalence alone),
+		// then faulted (crash recovery restores each view's sink from its
+		// snapshot plus WAL while the graph itself carries on).
+		for _, v := range []struct {
+			name    string
+			faulted bool
+		}{{"shared", false}, {"shared-faulted", true}} {
+			rep.Variants = append(rep.Variants, v.name)
+			var inj fault.Injector
+			if v.faulted {
+				inj = fault.NewSeeded(cfg.Seed, cfg.Rates)
+			}
+			sT, sF, _, _, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery, depth, compactEvery, nil, true)
+			if err != nil {
+				return nil, fmt.Errorf("chaos seed %d: %s run: %w", cfg.Seed, v.name, err)
+			}
+			if baseT != sT || baseF != sF {
+				rep.Identical = false
+				if rep.Diff == "" {
+					rep.Diff = v.name + " variant: " + firstDiff(baseT+baseF, sT+sF)
+				}
+			}
+		}
+	}
 	if cfg.DiskFaults {
 		name := fmt.Sprintf("disk-faulted(depth=%d)", depth)
 		rep.Variants = append(rep.Variants, name)
 		var medias []*fault.Media
 		opener := trackedOpener(cfg.diskOpener("disk-faulted", &cfg.MediaRates), &medias)
 		inj := fault.NewSeeded(cfg.Seed, cfg.Rates)
-		faultT, faultF, _, stats, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery, depth, compactEvery, opener)
+		faultT, faultF, _, stats, err := chaosRun(script, cfg.Seed, inj, cfg.CheckpointEvery, depth, compactEvery, opener, false)
 		if err != nil {
 			return nil, fmt.Errorf("chaos seed %d: %s run: %w", cfg.Seed, name, err)
 		}
@@ -558,7 +601,7 @@ func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 	script := chaosScript(cfg.Seed, cfg.Steps, spec)
 	depth, compactEvery := chaosChainParams(cfg)
 
-	baseT, baseF, _, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, nil, cfg.CheckpointEvery, depth, compactEvery, nil)
+	baseT, baseF, _, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, nil, cfg.CheckpointEvery, depth, compactEvery, nil, false)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d shards %d: baseline run: %w", cfg.Seed, cfg.Shards, err)
 	}
@@ -573,7 +616,7 @@ func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 		injs = append(injs, inj)
 		return inj
 	}
-	faultT, faultF, degraded, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, factory, cfg.CheckpointEvery, depth, compactEvery, nil)
+	faultT, faultF, degraded, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, factory, cfg.CheckpointEvery, depth, compactEvery, nil, false)
 	if err != nil {
 		return nil, fmt.Errorf("chaos seed %d shards %d: faulted run: %w", cfg.Seed, cfg.Shards, err)
 	}
@@ -601,6 +644,30 @@ func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 	if !rep.Identical {
 		rep.Diff = firstDiff(baseT+baseF, faultT+faultF)
 	}
+	if cfg.Shared {
+		// Sharded shared-dataflow variants: each shard builds its own
+		// operator graph over the views it hosts; fault-free and faulted
+		// runs must both match the classic sharded baseline.
+		for _, v := range []struct {
+			name    string
+			factory func(int) fault.Injector
+		}{
+			{"sharded-shared", nil},
+			{"sharded-shared-faulted", SeededShardInjectors(cfg.Seed, cfg.Rates)},
+		} {
+			rep.Variants = append(rep.Variants, v.name)
+			sT, sF, _, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, v.factory, cfg.CheckpointEvery, depth, compactEvery, nil, true)
+			if err != nil {
+				return nil, fmt.Errorf("chaos seed %d shards %d: %s run: %w", cfg.Seed, cfg.Shards, v.name, err)
+			}
+			if baseT != sT || baseF != sF {
+				rep.Identical = false
+				if rep.Diff == "" {
+					rep.Diff = v.name + " variant: " + firstDiff(baseT+baseF, sT+sF)
+				}
+			}
+		}
+	}
 	if cfg.Disk {
 		// Clean-disk sharded variant: per-store media-free files, the
 		// same per-shard fault schedule, byte-identity required. Each
@@ -608,7 +675,7 @@ func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 		// shard scheduling cannot perturb the outcome.
 		name := fmt.Sprintf("sharded-disk(depth=%d)", depth)
 		rep.Variants = append(rep.Variants, name)
-		dT, dF, _, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, SeededShardInjectors(cfg.Seed, cfg.Rates), cfg.CheckpointEvery, depth, compactEvery, cfg.diskOpener("disk", nil))
+		dT, dF, _, _, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, SeededShardInjectors(cfg.Seed, cfg.Rates), cfg.CheckpointEvery, depth, compactEvery, cfg.diskOpener("disk", nil), false)
 		if err != nil {
 			return nil, fmt.Errorf("chaos seed %d shards %d: %s run: %w", cfg.Seed, cfg.Shards, name, err)
 		}
@@ -624,7 +691,7 @@ func runChaosSharded(cfg ChaosConfig) (*ChaosReport, error) {
 		rep.Variants = append(rep.Variants, name)
 		var medias []*fault.Media
 		opener := trackedOpener(cfg.diskOpener("disk-faulted", &cfg.MediaRates), &medias)
-		fT, fF, _, stats, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, SeededShardInjectors(cfg.Seed, cfg.Rates), cfg.CheckpointEvery, depth, compactEvery, opener)
+		fT, fF, _, stats, err := chaosRunSharded(script, cfg.Seed, cfg.Shards, spec, SeededShardInjectors(cfg.Seed, cfg.Rates), cfg.CheckpointEvery, depth, compactEvery, opener, false)
 		if err != nil {
 			return nil, fmt.Errorf("chaos seed %d shards %d: %s run: %w", cfg.Seed, cfg.Shards, name, err)
 		}

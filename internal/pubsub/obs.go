@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"time"
 
+	"abivm/internal/dataflow"
 	"abivm/internal/fault"
 	"abivm/internal/ivm"
 	"abivm/internal/obs"
@@ -35,6 +36,15 @@ type brokerObs struct {
 	crashRecovers *obs.Counter
 	refreshCost   *obs.Histogram
 
+	// Shared-dataflow graph shape, synced at the end of each step while
+	// the shared runtime is active (zero otherwise): live operator count,
+	// attached views, cumulative hash-consing intern hits, and the widest
+	// operator fan-out.
+	dfOperators  *obs.Gauge
+	dfViews      *obs.Gauge
+	dfInternHits *obs.Gauge
+	dfMaxFanout  *obs.Gauge
+
 	// ivm is the maintainer-layer bundle shared by every subscription's
 	// maintainer and WAL; its histograms aggregate across subscriptions.
 	ivm *ivm.Metrics
@@ -59,6 +69,10 @@ func newBrokerObs(reg *obs.Registry, tr *obs.Tracer, shard string) *brokerObs {
 		retryGiveups:  reg.Counter("pubsub_retry_giveups_total", lbl...),
 		crashRecovers: reg.Counter("pubsub_crash_recoveries_total", lbl...),
 		refreshCost:   reg.Histogram("pubsub_refresh_cost", obs.SizeBuckets(), lbl...),
+		dfOperators:   reg.Gauge("ivm_dataflow_operators", lbl...),
+		dfViews:       reg.Gauge("ivm_dataflow_views", lbl...),
+		dfInternHits:  reg.Gauge("ivm_dataflow_intern_hits_total", lbl...),
+		dfMaxFanout:   reg.Gauge("ivm_dataflow_max_fanout", lbl...),
 		// The maintainer-layer bundle stays unlabeled on purpose: ivm
 		// histograms aggregate across every shard's subscriptions, and the
 		// registry dedupes the same-name series so all shards share one
@@ -105,9 +119,11 @@ func (b *Broker) SetObs(reg *obs.Registry, tr *obs.Tracer) {
 		b.obs = nil
 		for _, s := range b.subs {
 			s.obs = nil
-			s.m.SetMetrics(nil)
+			s.engine().SetMetrics(nil)
 			s.wal.SetMetrics(nil)
-			s.chain.SetMetrics(nil)
+			if s.chain != nil {
+				s.chain.SetMetrics(nil)
+			}
 			if s.store != nil {
 				s.store.SetMetrics(nil)
 			}
@@ -131,9 +147,11 @@ func (b *Broker) wireSub(s *sub) {
 		return
 	}
 	s.obs = newSubObs(b.obs.reg, s.cfg.Name)
-	s.m.SetMetrics(b.obs.ivm)
+	s.engine().SetMetrics(b.obs.ivm)
 	s.wal.SetMetrics(b.obs.ivm)
-	s.chain.SetMetrics(b.obs.ivm)
+	if s.chain != nil {
+		s.chain.SetMetrics(b.obs.ivm)
+	}
 	if s.store != nil {
 		s.store.SetMetrics(b.obs.ivm)
 	}
@@ -229,6 +247,18 @@ func (o *brokerObs) observeCrashRecovery() {
 		return
 	}
 	o.crashRecovers.Inc()
+}
+
+// syncDataflow mirrors the shared operator graph's shape onto the
+// ivm_dataflow_* gauges.
+func (o *brokerObs) syncDataflow(st dataflow.GraphStats) {
+	if o == nil {
+		return
+	}
+	o.dfOperators.Set(float64(st.Nodes))
+	o.dfViews.Set(float64(st.Views))
+	o.dfInternHits.Set(float64(st.InternHits))
+	o.dfMaxFanout.Set(float64(st.MaxFanout))
 }
 
 // syncSub refreshes a subscription's gauges after its share of a step

@@ -9,8 +9,11 @@
 //
 // The broker multiplexes one stream of base-table modifications to every
 // subscription whose view references the modified table. Base tables are
-// shared; each subscription keeps its own view-consistent replicas (the
-// ivm.Maintainer), so subscriptions never interfere.
+// shared; by default each subscription keeps its own view-consistent
+// replicas (the ivm.Maintainer), so subscriptions never interfere.
+// SetSharedDataflow switches later subscriptions onto the shared
+// delta-dataflow runtime (internal/dataflow), where structurally equal
+// sub-plans are hash-consed into one operator graph and maintained once.
 package pubsub
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"abivm/internal/core"
+	"abivm/internal/dataflow"
 	"abivm/internal/durable"
 	"abivm/internal/fault"
 	"abivm/internal/ivm"
@@ -98,8 +102,12 @@ func (b *Broker) SubscribeCompiled(cv CompiledSubscription) error {
 
 // sub is the broker-side state of one subscription.
 type sub struct {
-	cfg      Subscription
+	cfg Subscription
+	// Exactly one of m / h is set: m is the classic per-view maintainer,
+	// h the shared-dataflow sink (see SetSharedDataflow). engine()
+	// returns whichever is live.
 	m        *ivm.Maintainer
+	h        *dataflow.ViewHandle
 	pol      policy.Policy
 	aliasIdx map[string]int
 	stepMods core.Vector
@@ -157,6 +165,11 @@ type Broker struct {
 	// durability store keyed by its namespace.
 	opener durable.Opener
 
+	// shared, when set, is the shared delta-dataflow operator graph all
+	// later subscriptions compile into (see SetSharedDataflow); nil
+	// selects the classic one-maintainer-per-view runtime.
+	shared *dataflow.Graph
+
 	// pendPool recycles the scratch vectors behind the shared-lock read
 	// paths (backlogCost, HealthInto); pooling instead of a single broker
 	// field because concurrent readers each need their own scratch.
@@ -195,7 +208,7 @@ func (b *Broker) SetInjector(inj fault.Injector) {
 	}
 	b.inj = inj
 	for _, s := range b.subs {
-		s.m.SetInjector(inj)
+		s.engine().SetInjector(inj)
 	}
 	b.observeInjector()
 }
@@ -240,7 +253,9 @@ func (b *Broker) SetCheckpointChainDepth(n int) {
 	}
 	b.chainDepth = n
 	for _, s := range b.subs {
-		s.chain.SetMaxDepth(n)
+		if s.chain != nil {
+			s.chain.SetMaxDepth(n)
+		}
 	}
 }
 
@@ -254,6 +269,9 @@ func (b *Broker) CompactCheckpoints() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, s := range b.subs {
+		if s.chain == nil {
+			continue // shared-dataflow subs keep a single snapshot, no chain
+		}
 		if err := s.chain.Compact(); err != nil {
 			return fmt.Errorf("pubsub: %s: compacting checkpoint chain: %w", s.cfg.Name, err)
 		}
@@ -314,6 +332,23 @@ func (b *Broker) Subscribe(cfg Subscription) error {
 			return fmt.Errorf("pubsub: duplicate subscription %q", cfg.Name)
 		}
 	}
+	// The durability namespace ("<shard>/<name>" under a sharded broker,
+	// "<name>" standalone) names the recovery point whichever runtime
+	// backs the view.
+	ns := cfg.Name
+	if b.ns != "" {
+		ns = b.ns + "/" + cfg.Name
+	}
+	if b.shared != nil {
+		s, err := b.subscribeShared(cfg, ns)
+		if err != nil {
+			return err
+		}
+		s.h.SetInjector(b.inj)
+		b.wireSub(s)
+		b.subs = append(b.subs, s)
+		return nil
+	}
 	m, err := ivm.New(b.db, cfg.Query)
 	if err != nil {
 		return fmt.Errorf("pubsub: subscription %q: %w", cfg.Name, err)
@@ -335,17 +370,12 @@ func (b *Broker) Subscribe(cfg Subscription) error {
 	for i, a := range m.Aliases() {
 		s.aliasIdx[a] = i
 	}
-	// Durability from the first step: attach the redo log, name the
-	// durability namespace ("<shard>/<name>" under a sharded broker,
-	// "<name>" standalone), and take the initial checkpoint, so a crash
+	// Durability from the first step: attach the redo log, stamp the
+	// durability namespace, and take the initial checkpoint, so a crash
 	// at any later point has a recovery point whose ownership is
 	// verifiable. The injector is attached only after the checkpoint —
 	// the subscription must be born with a consistent recovery baseline.
 	m.AttachWAL(s.wal)
-	ns := cfg.Name
-	if b.ns != "" {
-		ns = b.ns + "/" + cfg.Name
-	}
 	m.SetNamespace(ns)
 	s.chain = ivm.NewCheckpointChain(b.chainDepth)
 	// Disk-backed durability attaches before the initial checkpoint: the
@@ -383,6 +413,16 @@ func (b *Broker) Publish(table string, mod ivm.Mod) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.obs.observePublish()
+	if b.shared != nil {
+		routed, err := b.publishShared(table, mod, true)
+		if err != nil {
+			return err
+		}
+		if routed == 0 {
+			return applyDirect(b.db, table, mod)
+		}
+		return nil
+	}
 	routed := false
 	for _, s := range b.subs {
 		// Resolve the table to an alias in registration order, not map
@@ -428,6 +468,9 @@ func (b *Broker) publishDeferred(table string, mod ivm.Mod) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.obs.observePublish()
+	if b.shared != nil {
+		return b.publishShared(table, mod, false)
+	}
 	routed := 0
 	for _, s := range b.subs {
 		// Registration-order alias resolution, as in Publish.
@@ -480,7 +523,7 @@ func (b *Broker) backlogCost() float64 {
 	}
 	total := 0.0
 	for _, s := range b.subs {
-		*buf = s.m.PendingInto(*buf)
+		*buf = s.engine().PendingInto(*buf)
 		total += s.cfg.Model.Total(core.Vector(*buf))
 	}
 	b.pendPool.Put(buf)
@@ -494,12 +537,12 @@ func (b *Broker) backlogCost() float64 {
 // the same subscription. Callers must hold b.mu exclusively; the
 // shared-lock readers (backlogCost, Health) allocate instead.
 func (b *Broker) pending(s *sub) core.Vector {
-	s.pendBuf = s.m.PendingInto(s.pendBuf)
+	s.pendBuf = s.engine().PendingInto(s.pendBuf)
 	return core.Vector(s.pendBuf)
 }
 
 // tableOf resolves a subscription alias to its base table name.
-func (b *Broker) tableOf(s *sub, alias string) string { return s.m.TableOf(alias) }
+func (b *Broker) tableOf(s *sub, alias string) string { return s.engine().TableOf(alias) }
 
 // applyLive applies one modification to a live base table on behalf of
 // the sharded ingest path, enforcing the same update rule the maintainer
@@ -627,6 +670,9 @@ func (b *Broker) EndStep() ([]Notification, error) {
 	if err := b.checkpointDue(); err != nil {
 		return nil, err
 	}
+	if b.shared != nil {
+		b.obs.syncDataflow(b.shared.Stats())
+	}
 	b.obs.observeStep(stepStart)
 	b.step++
 	return out, nil
@@ -643,7 +689,7 @@ func (b *Broker) notify(s *sub) (Notification, error) {
 		n := Notification{
 			Subscription: s.cfg.Name,
 			Step:         b.step,
-			Rows:         s.m.Result(),
+			Rows:         s.engine().Result(),
 			RefreshCost:  cost,
 		}
 		b.obs.observeNotification(s, n)
@@ -660,7 +706,7 @@ func (b *Broker) notify(s *sub) (Notification, error) {
 	n := Notification{
 		Subscription:  s.cfg.Name,
 		Step:          b.step,
-		Rows:          s.m.Result(),
+		Rows:          s.engine().Result(),
 		RefreshCost:   cost,
 		Degraded:      true,
 		StepsBehind:   b.step - s.lastFresh,
@@ -681,6 +727,18 @@ func (b *Broker) maybeCrash(s *sub) error {
 	var ms *ivm.Metrics
 	if b.obs != nil {
 		ms = b.obs.ivm
+	}
+	if s.h != nil {
+		// Shared path: the view's sink state (cursors, folded content,
+		// pending deltas) is rebuilt from its snapshot plus WAL; the
+		// operator graph itself survives the per-view crash the way the
+		// live database does, and the handle re-derives its pending set
+		// from the graph's retained delta log.
+		if err := s.h.Recover(); err != nil {
+			return fmt.Errorf("pubsub: %s: recovery failed: %w", s.cfg.Name, err)
+		}
+		b.obs.observeCrashRecovery()
+		return nil
 	}
 	if s.store != nil {
 		// Disk path: the in-memory WAL and chain die with the process;
@@ -736,12 +794,24 @@ func (b *Broker) checkpointDue() error {
 				return err
 			}
 		}
+		if s.h != nil {
+			if err := b.checkpointShared(s); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := s.chain.Checkpoint(s.m); err != nil {
 			return fmt.Errorf("pubsub: %s: checkpoint: %w", s.cfg.Name, err)
 		}
 		if err := s.wal.TruncateThrough(s.chain.TipLSN()); err != nil {
 			return fmt.Errorf("pubsub: %s: wal truncation: %w", s.cfg.Name, err)
 		}
+	}
+	// With every shared subscription's durable cursor advanced, retained
+	// deltas and join state below the cross-view watermark can never be
+	// replayed again — garbage-collect them.
+	if b.shared != nil {
+		b.trimShared()
 	}
 	return nil
 }
@@ -753,12 +823,13 @@ func (b *Broker) checkpointDue() error {
 // committed work.
 func (b *Broker) process(s *sub, act core.Vector) (float64, error) {
 	cost := 0.0
-	for i, alias := range s.m.Aliases() {
+	eng := s.engine()
+	for i, alias := range eng.Aliases() {
 		if act[i] == 0 {
 			continue
 		}
 		alias, k := alias, act[i]
-		if err := b.retry(func() error { return s.m.ProcessBatch(alias, k) }); err != nil {
+		if err := b.retry(func() error { return eng.ProcessBatch(alias, k) }); err != nil {
 			return cost, err
 		}
 		c := s.cfg.Model.TableCost(i, k)
@@ -799,7 +870,7 @@ func (b *Broker) Result(name string) ([]storage.Row, error) {
 	defer b.mu.RUnlock()
 	for _, s := range b.subs {
 		if s.cfg.Name == name {
-			return s.m.Result(), nil
+			return s.engine().Result(), nil
 		}
 	}
 	return nil, fmt.Errorf("pubsub: no subscription %q", name)
@@ -842,7 +913,7 @@ func (b *Broker) HealthInto(name string, h *Health) error {
 		if s.cfg.Name == name {
 			h.Degraded = s.degraded
 			h.StepsBehind = b.step - s.lastFresh
-			h.Pending = s.m.PendingInto(h.Pending)
+			h.Pending = s.engine().PendingInto(h.Pending)
 			h.WALRecords = s.wal.Len()
 			return nil
 		}

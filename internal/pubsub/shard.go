@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"abivm/internal/core"
+	"abivm/internal/dataflow"
 	"abivm/internal/durable"
 	"abivm/internal/fault"
 	"abivm/internal/ivm"
@@ -718,6 +719,41 @@ func (sb *ShardedBroker) SetStoreOpener(open durable.Opener) {
 	for _, sh := range sb.shards {
 		sh.b.SetStoreOpener(open)
 	}
+}
+
+// SetSharedDataflow switches every shard onto (or off) the shared
+// delta-dataflow runtime. Each shard builds its own hash-consed operator
+// graph over the shared base tables, so sharing happens among the views
+// co-located on a shard. Enable before subscribing, like the serial
+// broker's SetSharedDataflow; the first failing shard's error wins.
+func (sb *ShardedBroker) SetSharedDataflow(on bool) error {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for _, sh := range sb.shards {
+		if err := sh.b.SetSharedDataflow(on); err != nil {
+			return fmt.Errorf("pubsub: shard %d: %w", sh.id, err)
+		}
+	}
+	return nil
+}
+
+// DataflowStats sums the shared operator-graph shape across shards
+// (MaxFanout takes the widest shard). Zero when the classic runtime is
+// active.
+func (sb *ShardedBroker) DataflowStats() dataflow.GraphStats {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	var total dataflow.GraphStats
+	for _, sh := range sb.shards {
+		st := sh.b.DataflowStats()
+		total.Nodes += st.Nodes
+		total.Views += st.Views
+		total.InternHits += st.InternHits
+		if st.MaxFanout > total.MaxFanout {
+			total.MaxFanout = st.MaxFanout
+		}
+	}
+	return total
 }
 
 // DurabilityStats sums the durable-store counters across every shard's

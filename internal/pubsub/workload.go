@@ -186,6 +186,33 @@ func NewDemoWorkloadDurable(seed int64, spec WorkloadSpec, inj fault.Injector, o
 	})
 }
 
+// NewDemoWorkloadShared is NewDemoWorkloadSpec on the shared
+// delta-dataflow runtime: the demo subscriptions compile into one
+// hash-consed operator graph (SetSharedDataflow) instead of per-view
+// maintainers. In-memory durability only — the shared runtime has no
+// per-operator disk checkpoint yet.
+func NewDemoWorkloadShared(seed int64, spec WorkloadSpec, inj fault.Injector) (*DemoWorkload, error) {
+	db, err := DemoDB(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewDemoWorkloadOn(db, seed, spec, inj, nil, func(b *Broker) error {
+		if err := b.SetSharedDataflow(true); err != nil {
+			return err
+		}
+		subs, err := demoSubscriptionsSpec(spec)
+		if err != nil {
+			return err
+		}
+		for _, sc := range subs {
+			if err := b.Subscribe(sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // DemoDB builds the demo workload's deterministic base database
 // (stations and sales, populated per spec) without a broker on top. The
 // compiler front end calibrates catalog views against it, and tests use

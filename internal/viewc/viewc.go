@@ -19,6 +19,7 @@ import (
 	"abivm/internal/core"
 	"abivm/internal/costfn"
 	"abivm/internal/costmodel"
+	"abivm/internal/dataflow"
 	"abivm/internal/ivm"
 	"abivm/internal/pubsub"
 	"abivm/internal/sql"
@@ -53,6 +54,13 @@ type Options struct {
 	Weights storage.Weights
 	// Condition is the notification condition; Every(1) when nil.
 	Condition pubsub.Condition
+	// Dataflow targets the shared delta-dataflow runtime: the EXPLAIN
+	// report gains the canonical operator signatures the view would
+	// intern into the shared graph (internal/dataflow), so an operator
+	// can read off exactly which sub-plans two views will share before
+	// subscribing them. The packaged subscription is unchanged — the
+	// broker's SetSharedDataflow decides which runtime executes it.
+	Dataflow bool
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +115,9 @@ type CompiledView struct {
 	Seed  int64
 	Calibrations []Calibration
 	Model *core.CostModel
+	// Dataflow mirrors Options.Dataflow; when set, Explain appends the
+	// shared-runtime operator signatures.
+	Dataflow bool
 
 	cond pubsub.Condition
 	db   *storage.DB // compile-target database, for Explain
@@ -177,6 +188,15 @@ func compileSelect(db *storage.DB, sel *sql.Select, opts Options) (*CompiledView
 	cv := &CompiledView{
 		Name: opts.Name, QoS: opts.QoS, Query: query, Plan: plan,
 		Fit: opts.Fit, Seed: opts.Seed, cond: opts.Condition, db: db,
+		Dataflow: opts.Dataflow,
+	}
+	if opts.Dataflow {
+		// Surface unmappable constructs at compile time, not at
+		// subscribe time: the signature build exercises the same spec
+		// pass Graph.Subscribe runs.
+		if _, err := cv.OperatorSignatures(); err != nil {
+			return nil, fmt.Errorf("view %q: dataflow operators: %w", opts.Name, err)
+		}
 	}
 	funcs := make([]core.CostFunc, 0, len(plan.Sources))
 	for _, src := range plan.Sources {
@@ -268,5 +288,30 @@ func (cv *CompiledView) Explain() (string, error) {
 		}
 		fmt.Fprintf(&sb, "    max |residual| = %.4f\n", cal.MaxAbsResidual)
 	}
+	if cv.Dataflow {
+		sigs, err := cv.OperatorSignatures()
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString("dataflow operators (canonical signatures, leaves first):\n")
+		for _, sig := range sigs {
+			fmt.Fprintf(&sb, "  %s\n", sig)
+		}
+	}
 	return sb.String(), nil
+}
+
+// OperatorSignatures returns the canonical signatures of the operators
+// this view compiles into under the shared delta-dataflow runtime, in
+// post-order (leaves first). Two views share exactly the operators
+// whose signatures coincide, so diffing two views' signature lists
+// predicts the shared graph's shape.
+func (cv *CompiledView) OperatorSignatures() ([]string, error) {
+	return dataflow.Signatures(cv.Plan, func(table string) (*storage.Schema, error) {
+		tbl, err := cv.db.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		return tbl.Schema(), nil
+	})
 }

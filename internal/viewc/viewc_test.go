@@ -183,6 +183,65 @@ CREATE MATERIALIZED VIEW ord QOS 10 AS SELECT s.salekey FROM sales AS s ORDER BY
 	}
 }
 
+// TestCompileDataflowSignatures: the -dataflow compile surfaces the
+// canonical operator signatures, and two views over the same join spine
+// agree on every signature except their private projection top — the
+// compile-time prediction of what the shared runtime will intern.
+func TestCompileDataflowSignatures(t *testing.T) {
+	db := demoDB(t)
+	qa := "SELECT st.region, SUM(s.amount) FROM sales AS s, stations AS st WHERE s.station = st.stationkey GROUP BY st.region"
+	qb := "SELECT s.station, COUNT(*) FROM sales AS s, stations AS st WHERE s.station = st.stationkey GROUP BY s.station"
+	a, err := Compile(db, qa, Options{Name: "a", Dataflow: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := Compile(db, qb, Options{Name: "b", Dataflow: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dataflow operators", "scan(sales)", "scan(stations)", "join("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dataflow report missing %q:\n%s", want, out)
+		}
+	}
+	sa, err := a.OperatorSignatures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := bv.OperatorSignatures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa) != 4 || len(sb) != 4 {
+		t.Fatalf("signature counts %d/%d, want 4/4", len(sa), len(sb))
+	}
+	// Post-order: everything below the top coincides, the tops differ.
+	for i := 0; i < 3; i++ {
+		if sa[i] != sb[i] {
+			t.Errorf("spine signature %d differs: %q vs %q", i, sa[i], sb[i])
+		}
+	}
+	if sa[3] == sb[3] {
+		t.Errorf("projection tops identical: %q", sa[3])
+	}
+	// Without the option the section stays out of the report.
+	plain, err := Compile(db, qa, Options{Name: "p", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pout, err := plain.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(pout, "dataflow operators") {
+		t.Error("plain compile emitted the dataflow section")
+	}
+}
+
 func TestCompileUnknownTable(t *testing.T) {
 	if _, err := Compile(demoDB(t), "SELECT x.a FROM nope AS x", Options{Name: "ghost"}); err == nil || !strings.Contains(err.Error(), `view "ghost"`) {
 		t.Errorf("unknown table: err = %v", err)

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Documentation drift gate: the repo map in ARCHITECTURE.md must track
+# the package tree. Two directions:
+#
+#   1. Every internal/<pkg> and cmd/<binary> mentioned in
+#      ARCHITECTURE.md or README.md must exist — a doc referencing a
+#      renamed or deleted package fails the check.
+#   2. Every package that exists must be mentioned in ARCHITECTURE.md —
+#      a new package landing without a line in the repo map fails the
+#      check.
+#
+# Run via `make docs-check` or the CI docs-check job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Direction 1: doc references must resolve to real directories.
+for doc in ARCHITECTURE.md README.md; do
+	[ -f "$doc" ] || {
+		echo "docs-check: missing $doc"
+		fail=1
+		continue
+	}
+	refs=$(grep -oE '(internal|cmd)/[a-z][a-z0-9_]*' "$doc" | sort -u)
+	for ref in $refs; do
+		if [ ! -d "$ref" ]; then
+			echo "docs-check: $doc references $ref, which does not exist"
+			fail=1
+		fi
+	done
+done
+
+# Direction 2: every package must appear in the ARCHITECTURE.md repo map.
+for dir in internal/*/ cmd/*/; do
+	pkg=${dir%/}
+	# Skip nested analyzer fixture dirs and the like: only first-level
+	# packages belong on the map.
+	case "$pkg" in
+	*/*/*) continue ;;
+	esac
+	if ! grep -q "$pkg" ARCHITECTURE.md; then
+		echo "docs-check: $pkg is not mentioned in ARCHITECTURE.md"
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "docs-check: FAILED — update ARCHITECTURE.md/README.md to match the package tree"
+	exit 1
+fi
+echo "docs-check: OK"
